@@ -1,0 +1,146 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.  The
+conventions:
+
+* experiments run **real training** on the analog datasets with the
+  simulated cluster clock; results print as monospace tables matching the
+  rows/series the paper reports;
+* the pytest-benchmark fixture times one representative experiment per
+  bench (``rounds=1`` — these are experiment harnesses, not micro-benches);
+* every bench asserts its figure's qualitative *shape* (who wins, roughly
+  by how much), so a regression in the reproduction fails the suite.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import ClusterSpec
+from repro.core import (DistributedTrainer, MLlibModelAveragingTrainer,
+                        MLlibStarTrainer, MLlibTrainer, TrainerConfig,
+                        TrainResult)
+from repro.data import SparseDataset
+from repro.glm import Objective
+from repro.metrics import ConvergenceResult, TrainingHistory
+from repro.ps import AngelTrainer, PetuumStarTrainer, PetuumTrainer
+
+__all__ = [
+    "SVM_L2_STRENGTH", "SYSTEMS", "make_objective", "make_trainer",
+    "run_comparison", "ComparisonOutcome",
+]
+
+#: The paper's regularization setting ("with and without L2", lambda = 0.1).
+SVM_L2_STRENGTH = 0.1
+
+SYSTEMS: dict[str, type[DistributedTrainer]] = {
+    "MLlib": MLlibTrainer,
+    "MLlib+MA": MLlibModelAveragingTrainer,
+    "MLlib*": MLlibStarTrainer,
+    "Petuum": PetuumTrainer,
+    "Petuum*": PetuumStarTrainer,
+    "Angel": AngelTrainer,
+}
+
+
+def make_objective(l2: float) -> Objective:
+    """SVM objective, with or without L2 (the paper's workload)."""
+    if l2 > 0:
+        return Objective("hinge", "l2", l2)
+    return Objective("hinge")
+
+
+def make_trainer(system: str, objective: Objective, cluster: ClusterSpec,
+                 config: TrainerConfig) -> DistributedTrainer:
+    try:
+        cls = SYSTEMS[system]
+    except KeyError:
+        raise KeyError(f"unknown system {system!r}; "
+                       f"choose from {sorted(SYSTEMS)}") from None
+    return cls(objective, cluster, config)
+
+
+# Per-system defaults that mirror the paper's tuning conclusions: MLlib
+# runs its stepSize/sqrt(t) decay on ~1% batches; SendModel systems run
+# chunked local SGD under the same decay; Petuum communicates per batch
+# (larger batches keep communication sane); Angel uses per-epoch steps.
+_SENDMODEL = TrainerConfig(learning_rate=0.5, lr_schedule="inv_sqrt",
+                           local_chunk_size=64, max_steps=30, seed=1)
+DEFAULT_CONFIGS: dict[str, TrainerConfig] = {
+    "MLlib": TrainerConfig(learning_rate=0.5, lr_schedule="inv_sqrt",
+                           batch_fraction=0.01, max_steps=4000,
+                           eval_every=25, seed=1),
+    "MLlib+MA": _SENDMODEL,
+    "MLlib*": _SENDMODEL,
+    "Petuum": TrainerConfig(learning_rate=1.0, lr_schedule="inv_sqrt",
+                            batch_fraction=0.2, local_chunk_size=16,
+                            max_steps=400, eval_every=10, seed=1),
+    "Petuum*": TrainerConfig(learning_rate=1.0, lr_schedule="inv_sqrt",
+                             batch_fraction=0.2, local_chunk_size=16,
+                             max_steps=400, eval_every=10, seed=1),
+    "Angel": TrainerConfig(learning_rate=0.5, lr_schedule="inv_sqrt",
+                           batch_fraction=0.01, max_steps=100, seed=1),
+}
+
+
+@dataclass
+class ComparisonOutcome:
+    """Results of running several systems on one workload."""
+
+    dataset: str
+    l2: float
+    results: dict[str, TrainResult]
+    convergence: dict[str, ConvergenceResult]
+
+    def history(self, system: str) -> TrainingHistory:
+        return self.results[system].history
+
+
+def run_comparison(dataset: SparseDataset, l2: float, systems: list[str],
+                   cluster: ClusterSpec,
+                   overrides: dict[str, dict] | None = None,
+                   reference: str = "MLlib*") -> ComparisonOutcome:
+    """Run ``systems`` on one (dataset, reg) workload and score convergence.
+
+    The reference system runs first; its best objective plus the 0.01
+    tolerance becomes the early-stop threshold for the others, which
+    mirrors the paper's "accuracy loss 0.01 vs the optimum" metric while
+    keeping host-side runtime bounded.
+    """
+    overrides = overrides or {}
+    objective = make_objective(l2)
+
+    def config_for(system: str, stop: float | None) -> TrainerConfig:
+        cfg = DEFAULT_CONFIGS[system]
+        kwargs = dict(overrides.get(system, {}))
+        if stop is not None:
+            kwargs["stop_threshold"] = stop
+        return cfg.with_overrides(**kwargs) if kwargs else cfg
+
+    results: dict[str, TrainResult] = {}
+    ref_result = make_trainer(reference, objective, cluster,
+                              config_for(reference, None)).fit(dataset)
+    results[reference] = ref_result
+    threshold = ref_result.history.best_objective + 0.01
+
+    for system in systems:
+        if system == reference:
+            continue
+        trainer = make_trainer(system, objective, cluster,
+                               config_for(system, threshold))
+        results[system] = trainer.fit(dataset)
+
+    # Score every system against the same fixed threshold that drove the
+    # early stopping.  (Deriving the threshold from the global minimum
+    # would move the goalposts whenever a system's final step overshoots
+    # below the reference optimum.)
+    convergence = {
+        system: ConvergenceResult.from_history(r.history, threshold)
+        for system, r in results.items()
+    }
+    return ComparisonOutcome(dataset=dataset.name, l2=l2, results=results,
+                             convergence=convergence)

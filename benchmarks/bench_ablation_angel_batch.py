@@ -1,0 +1,64 @@
+"""Ablation — Angel's batch-size sensitivity (Section V-B2).
+
+"Angel cannot support small batch sizes very efficiently ... Angel stores
+the accumulated gradients for each batch in a separate vector [so] there
+will be significant overhead on memory allocation and garbage collection."
+
+This bench sweeps the batch fraction and reports simulated seconds per
+epoch for Angel vs MLlib* on the same data.  MLlib*'s per-epoch cost is
+insensitive to the local chunking, while Angel's grows sharply as batches
+shrink (more buffers per epoch).
+"""
+
+from repro.cluster import cluster1
+from repro.core import MLlibStarTrainer, TrainerConfig
+from repro.data import kdd12_like
+from repro.glm import Objective
+from repro.metrics import format_table
+from repro.ps import AngelTrainer
+
+BATCH_FRACTIONS = (0.001, 0.01, 0.1)
+EPOCHS = 3
+
+
+def run_sweep():
+    # kdd12: the large-model analog (d = 55,000), where allocating one
+    # gradient buffer per batch is expensive.
+    dataset = kdd12_like()
+    objective = Objective("hinge")
+    angel_times = {}
+    for fraction in BATCH_FRACTIONS:
+        cfg = TrainerConfig(max_steps=EPOCHS, learning_rate=0.5,
+                            lr_schedule="inv_sqrt",
+                            batch_fraction=fraction, seed=1)
+        result = AngelTrainer(objective, cluster1(executors=8), cfg).fit(
+            dataset)
+        angel_times[fraction] = result.history.total_seconds / EPOCHS
+
+    star_cfg = TrainerConfig(max_steps=EPOCHS, learning_rate=0.5,
+                             lr_schedule="inv_sqrt", local_chunk_size=64,
+                             seed=1)
+    star = MLlibStarTrainer(objective, cluster1(executors=8), star_cfg).fit(
+        dataset)
+    star_time = star.history.total_seconds / EPOCHS
+    return angel_times, star_time
+
+
+def bench_ablation_angel_batch(benchmark):
+    angel_times, star_time = benchmark.pedantic(run_sweep, rounds=1,
+                                                iterations=1)
+
+    rows = [[f"{f:g}", round(t, 3), round(t / star_time, 2)]
+            for f, t in angel_times.items()]
+    rows.append(["MLlib* (reference)", round(star_time, 3), 1.0])
+    print()
+    print(format_table(
+        ["batch fraction", "sec / epoch", "vs MLlib*"], rows,
+        title="Ablation: Angel per-epoch cost vs batch size (kdd12 analog)"))
+
+    ordered = [angel_times[f] for f in BATCH_FRACTIONS]
+    # Smaller batches => strictly more per-epoch time (buffer overhead).
+    assert ordered[0] > ordered[1] > ordered[2]
+    # At the smallest batch size the overhead is substantial (>= 2x the
+    # large-batch epoch).
+    assert ordered[0] > 2 * ordered[2]

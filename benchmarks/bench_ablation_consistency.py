@@ -1,0 +1,65 @@
+"""Ablation — consistency controllers: BSP vs SSP vs ASP (Section III-B).
+
+Parameter servers "can leverage different consistency controllers to
+implement different communication schemes such as BSP, SSP, and ASP".
+Petuum* uses SSP "to alleviate potential latency from stragglers"
+(Section V-B2).  This bench runs the same per-step workload through the
+PS timeline engine on a heterogeneous cluster under each controller and
+reports the makespan: SSP must sit between BSP (full barrier) and ASP
+(no barrier), and the BSP -> SSP gap must widen as stragglers worsen.
+"""
+
+from repro.cluster import cluster2
+from repro.metrics import format_table
+from repro.ps import ASP, BSP, SSP, PsEngine
+
+WORKERS = 16
+STEPS = 30
+MODEL_SIZE = 100_000
+
+
+def makespan(controller, straggler_sigma: float) -> float:
+    cluster = cluster2(machines=WORKERS, seed=3,
+                       straggler_sigma=straggler_sigma)
+    engine = PsEngine(cluster, controller=controller)
+    last = 0.0
+    for _ in range(STEPS):
+        last = engine.run_step([0.5] * WORKERS, MODEL_SIZE)
+    return last
+
+
+def run_sweep():
+    controllers = {
+        "BSP": BSP(),
+        "SSP(s=1)": SSP(staleness=1),
+        "SSP(s=3)": SSP(staleness=3),
+        "ASP": ASP(),
+    }
+    return {sigma: {name: makespan(ctrl, sigma)
+                    for name, ctrl in controllers.items()}
+            for sigma in (0.2, 0.5)}
+
+
+def bench_ablation_consistency(benchmark):
+    by_sigma = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for sigma, times in by_sigma.items():
+        for name, t in times.items():
+            rows.append([sigma, name, round(t, 2),
+                         f"{times['BSP'] / t:.2f}x"])
+    print()
+    print(format_table(
+        ["straggler sigma", "controller", "makespan (sim s)", "vs BSP"],
+        rows, title=f"Ablation: consistency controllers "
+                    f"({WORKERS} workers, {STEPS} steps)"))
+
+    for sigma, times in by_sigma.items():
+        # Staleness monotonically relaxes the barrier.
+        assert times["ASP"] <= times["SSP(s=3)"] <= times["SSP(s=1)"] <= (
+            times["BSP"])
+
+    # The benefit of staleness grows with straggler severity.
+    gain_mild = by_sigma[0.2]["BSP"] / by_sigma[0.2]["SSP(s=3)"]
+    gain_severe = by_sigma[0.5]["BSP"] / by_sigma[0.5]["SSP(s=3)"]
+    assert gain_severe > gain_mild

@@ -1,0 +1,66 @@
+"""Ablation — T', the local iterations per communication step (§II-B).
+
+Algorithm 2's SendModel discussion: "If T' = 1 ... the number of updates
+made by SendGradient and SendModel will be exactly the same.  However, if
+T' >> 1, which is the typical case, SendModel will result in much more
+updates and thus much faster convergence."
+
+This bench sweeps ``local_epochs`` (our T', in units of passes over the
+partition) for MLlib* and reports communication steps and simulated time
+to a fixed objective threshold: more local work per step means fewer
+steps, with diminishing returns as local models drift apart between
+averages.
+"""
+
+from repro.cluster import cluster1
+from repro.core import MLlibStarTrainer, TrainerConfig
+from repro.data import SyntheticSpec, generate
+from repro.glm import Objective
+from repro.metrics import format_table
+
+LOCAL_EPOCHS = (1, 2, 4)
+TARGET = 0.32
+
+
+def run_sweep():
+    dataset = generate(SyntheticSpec(n_rows=6000, n_features=400,
+                                     nnz_per_row=12.0, noise=0.03, seed=51),
+                       name="tprime")
+    objective = Objective("hinge")
+    outcomes = {}
+    for t_prime in LOCAL_EPOCHS:
+        cfg = TrainerConfig(max_steps=60, learning_rate=0.3,
+                            lr_schedule="inv_sqrt", local_chunk_size=16,
+                            local_epochs=t_prime,
+                            stop_threshold=TARGET, seed=1)
+        result = MLlibStarTrainer(objective, cluster1(executors=8),
+                                  cfg).fit(dataset)
+        hit = result.history.first_reaching(TARGET)
+        outcomes[t_prime] = (result, hit)
+    return outcomes
+
+
+def bench_ablation_local_epochs(benchmark):
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for t_prime, (result, hit) in outcomes.items():
+        rows.append([
+            t_prime,
+            None if hit is None else hit.step,
+            None if hit is None else round(hit.seconds, 3),
+            round(result.history.best_objective, 4),
+        ])
+    print()
+    print(format_table(
+        ["T' (local epochs)", f"steps to f=0.32",
+         f"sec to f=0.32", "best f(w)"], rows,
+        title="Ablation: local iterations per communication step "
+              "(MLlib*)"))
+
+    hits = {t: hit for t, (_, hit) in outcomes.items()}
+    # Every configuration reaches the target...
+    assert all(h is not None for h in hits.values())
+    # ...and larger T' needs FEWER communication steps (Section II-B).
+    steps = [hits[t].step for t in LOCAL_EPOCHS]
+    assert steps[0] > steps[1] >= steps[2]

@@ -1,0 +1,68 @@
+"""Ablation — treeAggregate depth and the cost of driver-centric collection.
+
+MLlib's hierarchical (depth-2) aggregation exists to shed driver load
+relative to flat (depth-1) aggregation, but Section IV-B2 shows both lose
+to the shuffle-based AllReduce.  This bench prices one aggregation +
+redistribution of a size-m model on an 8- and a 32-executor cluster under
+all three patterns.
+"""
+
+from repro.cluster import cluster1
+from repro.engine import BspEngine, TreeAggregateModel
+from repro.metrics import format_table
+
+MODEL_SIZE = 5_000_000
+
+
+def price_patterns(executors: int):
+    rows = {}
+    for depth in (1, 2):
+        engine = BspEngine(cluster1(executors=executors),
+                           tree=TreeAggregateModel(depth=depth))
+        total = (engine.tree_aggregate_phase(MODEL_SIZE, 0)
+                 + engine.broadcast_phase(MODEL_SIZE, 0))
+        timing = TreeAggregateModel(depth=depth).timing(
+            cluster1(executors=executors), MODEL_SIZE)
+        rows[f"tree depth {depth}"] = (total, timing.driver_seconds)
+    star = BspEngine(cluster1(executors=executors))
+    total = (star.reduce_scatter_phase(MODEL_SIZE, 0)
+             + star.all_gather_phase(MODEL_SIZE, 0))
+    rows["AllReduce (MLlib*)"] = (total, 0.0)
+    return rows
+
+
+def run_all():
+    return {k: price_patterns(k) for k in (8, 32)}
+
+
+def bench_ablation_tree_depth(benchmark):
+    by_cluster = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for executors, patterns in by_cluster.items():
+        for pattern, (total, driver) in patterns.items():
+            rows.append([executors, pattern, round(total, 3),
+                         round(driver, 3)])
+    print()
+    print(format_table(
+        ["executors", "pattern", "round-trip sec", "driver sec"], rows,
+        title=f"Ablation: aggregation pattern cost "
+              f"(model = {MODEL_SIZE:,} floats)"))
+
+    for executors, patterns in by_cluster.items():
+        flat_total, flat_driver = patterns["tree depth 1"]
+        tree_total, tree_driver = patterns["tree depth 2"]
+        star_total, star_driver = patterns["AllReduce (MLlib*)"]
+        # treeAggregate sheds driver load vs flat...
+        assert tree_driver < flat_driver
+        # ...but AllReduce beats both and has no driver at all.
+        assert star_total < tree_total
+        assert star_total < flat_total
+        assert star_driver == 0.0
+
+    # The AllReduce advantage grows with cluster size.
+    gain_8 = (by_cluster[8]["tree depth 2"][0]
+              / by_cluster[8]["AllReduce (MLlib*)"][0])
+    gain_32 = (by_cluster[32]["tree depth 2"][0]
+               / by_cluster[32]["AllReduce (MLlib*)"][0])
+    assert gain_32 > gain_8

@@ -1,0 +1,52 @@
+"""Ablation — tasks per executor ("waves"), Section V-C.
+
+The paper: "One may argue that assigning multiple tasks to one executor
+can reduce the overhead brought by BSP.  However ... we tuned the number
+of tasks per executor, and the result turns out that one task per executor
+is the optimal solution, due to heavy communication overhead."
+
+``TrainerConfig.tasks_per_executor`` is a first-class knob of the MLlib
+trainer: each wave pays a task-launch overhead and ships its own gradient
+into ``treeAggregate``.  This bench trains the same workload under 1/2/4/8
+waves and reports simulated seconds per iteration.
+"""
+
+from repro.cluster import cluster1
+from repro.core import MLlibTrainer, TrainerConfig
+from repro.data import kdd12_like
+from repro.glm import Objective
+from repro.metrics import format_table
+
+WAVES = (1, 2, 4, 8)
+STEPS = 5
+
+
+def run_sweep():
+    dataset = kdd12_like()  # large model: heavy per-message communication
+    objective = Objective("hinge")
+    times = {}
+    for waves in WAVES:
+        cfg = TrainerConfig(max_steps=STEPS, learning_rate=0.5,
+                            lr_schedule="inv_sqrt", batch_fraction=0.05,
+                            tasks_per_executor=waves, seed=1)
+        result = MLlibTrainer(objective, cluster1(executors=8), cfg).fit(
+            dataset)
+        times[waves] = result.history.total_seconds / STEPS
+    return times
+
+
+def bench_ablation_waves(benchmark):
+    times = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [[w, round(t, 3), f"{t / times[1]:.2f}x"]
+            for w, t in times.items()]
+    print()
+    print(format_table(
+        ["tasks per executor", "sec / iteration", "vs 1 task"], rows,
+        title="Ablation: waves of tasks per executor "
+              "(MLlib, kdd12 analog)"))
+
+    # One task per executor is optimal, and the penalty grows with waves.
+    ordered = [times[w] for w in WAVES]
+    assert ordered == sorted(ordered)
+    assert times[8] > 1.5 * times[1]

@@ -1,0 +1,81 @@
+"""MLlib's GradientDescent, written as RDD dataflow on the mini-RDD layer.
+
+The specialized trainers in ``repro.core`` use a direct phase API; this
+example shows the same SendGradient algorithm expressed the way the real
+MLlib writes it — ``treeAggregate`` over a cached RDD of labeled points —
+running on the simulated cluster with lineage-based fault recovery.
+
+Halfway through training we kill an executor: the next action recomputes
+its partitions from lineage (costing simulated time) and training
+continues correctly — Spark's fault-tolerance story, reproduced.
+
+Run with::
+
+    python examples/rdd_gradient_descent.py
+"""
+
+import numpy as np
+
+from repro.cluster import cluster1
+from repro.data import SyntheticSpec, generate
+from repro.engine import RddContext
+from repro.glm import Objective, apply_update
+
+ITERATIONS = 12
+LEARNING_RATE = 0.3
+
+
+def main() -> None:
+    dataset = generate(SyntheticSpec(n_rows=2000, n_features=100,
+                                     nnz_per_row=10.0, seed=17),
+                       name="rdd-demo")
+    objective = Objective("hinge", "l2", 0.01)
+    ctx = RddContext(cluster1(executors=8))
+
+    # The classic MLlib pipeline: raw rows parsed once, then cached.
+    # Parsing carries a real per-row cost, so a lost executor's blocks
+    # cost visible simulated time to recompute from lineage.
+    raw = [(np.asarray(dataset.X[i].todense()).ravel(), dataset.y[i])
+           for i in range(dataset.n_rows)]
+
+    def parse(row):
+        x, y = row
+        return np.array(x, copy=True), float(y)
+
+    points = (ctx.parallelize(raw)
+              .map(parse, work_per_row=2.0e-5)
+              .cache())
+    d = dataset.n_features
+
+    def seq_op(acc, point):
+        grad_sum, count = acc
+        x, y = point
+        margin = float(x @ w)
+        factor = objective.loss.gradient_factor(np.array([margin]),
+                                                np.array([y]))[0]
+        return grad_sum + factor * x, count + 1
+
+    def comb_op(a, b):
+        return a[0] + b[0], a[1] + b[1]
+
+    w = np.zeros(d)
+    print(f"{'iter':>4}  {'sim time':>9}  {'objective':>9}")
+    for iteration in range(1, ITERATIONS + 1):
+        if iteration == ITERATIONS // 2:
+            evicted = ctx.fail_executor(3)
+            print(f"     !! executor-4 failed, {evicted} cached block(s) "
+                  "lost; lineage recovery on next action")
+        grad_sum, count = points.tree_aggregate(
+            (np.zeros(d), 0), seq_op, comb_op, result_size=d)
+        gradient = grad_sum / count
+        w = apply_update(w, gradient, LEARNING_RATE, objective)
+        objective_value = objective.value(w, dataset.X, dataset.y)
+        print(f"{iteration:>4}  {ctx.now:>9.3f}  {objective_value:>9.4f}")
+
+    print(f"\nfinal objective {objective.value(w, dataset.X, dataset.y):.4f}"
+          f" after {ITERATIONS} treeAggregate rounds "
+          f"({ctx.now:.3f} simulated seconds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Regularization and conditioning: why MLlib fails where MLlib* doesn't.
+
+Section V-B's second observation: MLlib performs worse as the problem gets
+more ill-conditioned.  On underdetermined data (more features than
+examples, like url and kddb) with no regularization, SendGradient's one
+update per communication step cannot reach the optimum in any reasonable
+number of steps; adding L2 makes the objective strongly convex and closes
+most of the gap.
+
+This example trains on the url analog at L2 strengths {0, 0.01, 0.1} and
+reports how many communication steps each system needs to get within 0.01
+of MLlib*'s best objective.  The MLlib/MLlib* step ratio shrinks as L2
+grows — the paper's Figures 4(c)-(f) story.
+
+Run with::
+
+    python examples/regularization_study.py
+"""
+
+from repro import (MLlibStarTrainer, MLlibTrainer, Objective, TrainerConfig,
+                   cluster1, url_like)
+from repro.metrics import format_table
+
+L2_STRENGTHS = (0.0, 0.01, 0.1)
+
+
+def main() -> None:
+    dataset = url_like()
+    print(f"workload: SVM on {dataset.name} analog "
+          f"({dataset.n_rows:,} rows x {dataset.n_features:,} features "
+          f"-- underdetermined)")
+
+    rows = []
+    for l2 in L2_STRENGTHS:
+        objective = (Objective("hinge", "l2", l2) if l2
+                     else Objective("hinge"))
+        star = MLlibStarTrainer(
+            objective, cluster1(),
+            TrainerConfig(max_steps=25, learning_rate=0.5,
+                          lr_schedule="inv_sqrt", local_chunk_size=16,
+                          seed=0)).fit(dataset)
+        threshold = star.history.best_objective + 0.01
+        star_steps = star.history.first_reaching(threshold).step
+
+        # Per-workload tuning, as the paper does by grid search: with no
+        # regularization MLlib's best setting is a constant step; with L2
+        # the strongly convex objective favours the default 1/sqrt(t) decay.
+        mllib_cfg = TrainerConfig(
+            max_steps=3000, eval_every=20,
+            learning_rate=1.0 if l2 == 0 else 0.5,
+            lr_schedule="constant" if l2 == 0 else "inv_sqrt",
+            batch_fraction=0.05, stop_threshold=threshold, seed=0)
+        mllib = MLlibTrainer(objective, cluster1(), mllib_cfg).fit(dataset)
+        point = mllib.history.first_reaching(threshold)
+        mllib_steps = None if point is None else point.step
+        ratio = (None if mllib_steps is None
+                 else f"{mllib_steps / max(1, star_steps):.0f}x")
+        rows.append([f"{l2:g}", round(threshold, 4), star_steps,
+                     mllib_steps if mllib_steps is not None else "n/c",
+                     ratio if ratio is not None else "n/c"])
+
+    print()
+    print(format_table(
+        ["L2", "target f(w)", "MLlib* steps", "MLlib steps", "ratio"],
+        rows, title="communication steps to reach MLlib*'s optimum + 0.01"))
+    print("\nWithout regularization the underdetermined problem is "
+          "ill-conditioned and MLlib\nneeds vastly more steps (or never "
+          "arrives); L2 conditions the objective and\nshrinks the gap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""System shootout: all six trainers on one workload.
+
+Reruns the paper's central comparison — MLlib vs MLlib + model averaging
+vs MLlib* vs Petuum vs Petuum* vs Angel — on the url analog
+(underdetermined, the regime where the SendGradient paradigm struggles
+most) and prints time/steps to the 0.01-accuracy-loss threshold.
+
+Run with::
+
+    python examples/system_shootout.py
+"""
+
+from repro import (AngelTrainer, MLlibModelAveragingTrainer,
+                   MLlibStarTrainer, MLlibTrainer, Objective,
+                   PetuumStarTrainer, PetuumTrainer, TrainerConfig,
+                   cluster1, url_like)
+from repro.metrics import format_table
+
+SENDMODEL_CFG = TrainerConfig(max_steps=60, learning_rate=0.5,
+                              lr_schedule="inv_sqrt", local_chunk_size=16,
+                              seed=0)
+PER_BATCH_CFG = TrainerConfig(max_steps=300, eval_every=10,
+                              learning_rate=1.0, lr_schedule="inv_sqrt",
+                              batch_fraction=0.2, local_chunk_size=16,
+                              seed=0)
+MLLIB_CFG = TrainerConfig(max_steps=2000, eval_every=20, learning_rate=1.0,
+                          batch_fraction=0.05, seed=0)
+
+
+def main() -> None:
+    dataset = url_like()
+    objective = Objective("hinge", "l2", 0.1)
+    print(f"workload: SVM + L2(0.1) on {dataset.name} analog "
+          f"({dataset.n_rows:,} x {dataset.n_features:,})")
+
+    trainers = [
+        MLlibTrainer(objective, cluster1(), MLLIB_CFG),
+        MLlibModelAveragingTrainer(objective, cluster1(), SENDMODEL_CFG),
+        MLlibStarTrainer(objective, cluster1(), SENDMODEL_CFG),
+        PetuumTrainer(objective, cluster1(), PER_BATCH_CFG),
+        PetuumStarTrainer(objective, cluster1(), PER_BATCH_CFG),
+        AngelTrainer(objective, cluster1(),
+                     SENDMODEL_CFG.with_overrides(batch_fraction=0.05,
+                                                  max_steps=100)),
+    ]
+
+    results = {t.system: t.fit(dataset) for t in trainers}
+    optimum = min(r.history.best_objective for r in results.values())
+    threshold = optimum + 0.01
+
+    rows = []
+    for system, result in results.items():
+        point = result.history.first_reaching(threshold)
+        rows.append([
+            system,
+            round(result.history.best_objective, 4),
+            "yes" if point is not None else "no",
+            None if point is None else point.step,
+            None if point is None else round(point.seconds, 3),
+            "DIVERGED" if result.diverged else "",
+        ])
+    print()
+    print(format_table(
+        ["system", "best f(w)", "converged", "steps to 0.01", "sec to 0.01",
+         "notes"], rows,
+        title=f"time to optimum + 0.01 (optimum = {optimum:.4f})"))
+
+
+if __name__ == "__main__":
+    main()

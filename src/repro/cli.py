@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets``   — list the analog dataset catalog (Table I).
+* ``train``      — train one system on one dataset, print the convergence
+  curve, optionally export it to CSV/JSON.
+* ``compare``    — run several systems on one workload and print time and
+  steps to the 0.01-accuracy-loss threshold.
+* ``gantt``      — render the ASCII gantt chart for one system.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro train --system "MLlib*" --dataset avazu --l2 0.1
+    python -m repro compare --dataset url --systems "MLlib,MLlib*" --l2 0
+    python -m repro gantt --system MLlib --dataset kddb --steps 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cluster import cluster1
+from .core import (MLlibModelAveragingTrainer, MLlibStarTrainer,
+                   MLlibTrainer, SparkMlStarTrainer, SparkMlTrainer,
+                   TrainerConfig)
+from .data import CATALOG, dataset_names, load, read_libsvm
+from .glm import Objective
+from .metrics import (evaluate_convergence, format_speedup, format_table,
+                      render_ascii, speedup, summarize, write_histories_json,
+                      write_history_csv)
+from .ps import (AngelTrainer, AsyncSgdTrainer, PetuumStarTrainer,
+                 PetuumTrainer)
+
+__all__ = ["main", "build_parser", "SYSTEMS"]
+
+SYSTEMS = {
+    "MLlib": MLlibTrainer,
+    "MLlib+MA": MLlibModelAveragingTrainer,
+    "MLlib*": MLlibStarTrainer,
+    "Petuum": PetuumTrainer,
+    "Petuum*": PetuumStarTrainer,
+    "Angel": AngelTrainer,
+    "ASGD": AsyncSgdTrainer,
+    "spark.ml": SparkMlTrainer,
+    "spark.ml*": SparkMlStarTrainer,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'MLlib*: Fast Training of GLMs using "
+                    "Spark MLlib' (ICDE 2019)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the analog dataset catalog")
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="avazu",
+                       help="catalog name or path to a LIBSVM file")
+        p.add_argument("--loss", default="hinge",
+                       choices=["hinge", "logistic", "squared"])
+        p.add_argument("--l2", type=float, default=0.0,
+                       help="L2 strength (0 = unregularized)")
+        p.add_argument("--executors", type=int, default=8)
+        p.add_argument("--steps", type=int, default=30,
+                       help="communication-step cap")
+        p.add_argument("--learning-rate", type=float, default=0.5)
+        p.add_argument("--schedule", default="inv_sqrt",
+                       choices=["constant", "inv_sqrt", "inv_time"])
+        p.add_argument("--batch-fraction", type=float, default=0.01)
+        p.add_argument("--chunk-size", type=int, default=32)
+        p.add_argument("--eval-every", type=int, default=1)
+        p.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train one system")
+    add_workload_args(train)
+    train.add_argument("--system", default="MLlib*",
+                       choices=sorted(SYSTEMS))
+    train.add_argument("--export-csv", metavar="PATH",
+                       help="write the convergence series to CSV")
+    train.add_argument("--export-json", metavar="PATH",
+                       help="write the convergence series to JSON")
+
+    compare = sub.add_parser("compare", help="compare several systems")
+    add_workload_args(compare)
+    compare.add_argument("--systems", default="MLlib,MLlib*",
+                         help="comma-separated system names")
+
+    gantt = sub.add_parser("gantt", help="render an ASCII gantt chart")
+    add_workload_args(gantt)
+    gantt.add_argument("--system", default="MLlib",
+                       choices=sorted(SYSTEMS))
+    gantt.add_argument("--width", type=int, default=96)
+
+    plan = sub.add_parser(
+        "plan", help="analytic per-step cost decomposition per system")
+    plan.add_argument("--dataset", default="avazu",
+                      help="catalog name or path to a LIBSVM file")
+    plan.add_argument("--executors", type=int, default=8)
+
+    tune = sub.add_parser("tune", help="grid-search one system")
+    add_workload_args(tune)
+    tune.add_argument("--system", default="MLlib*",
+                      choices=sorted(SYSTEMS))
+    tune.add_argument("--learning-rates", default="0.1,0.5,1.0",
+                      help="comma-separated learning-rate candidates")
+    tune.add_argument("--chunk-sizes", default="16,64",
+                      help="comma-separated local chunk sizes")
+    return parser
+
+
+def _load_dataset(name: str):
+    if name in CATALOG:
+        return load(name)
+    return read_libsvm(name)
+
+
+def _make_objective(args) -> Objective:
+    if args.l2 > 0:
+        return Objective(args.loss, "l2", args.l2)
+    return Objective(args.loss)
+
+
+def _make_config(args, **overrides) -> TrainerConfig:
+    base = dict(max_steps=args.steps, learning_rate=args.learning_rate,
+                lr_schedule=args.schedule,
+                batch_fraction=args.batch_fraction,
+                local_chunk_size=args.chunk_size,
+                eval_every=args.eval_every, seed=args.seed)
+    base.update(overrides)
+    return TrainerConfig(**base)
+
+
+def _fit(system: str, args, stop_threshold: float | None = None):
+    dataset = _load_dataset(args.dataset)
+    objective = _make_objective(args)
+    cluster = cluster1(executors=args.executors)
+    overrides = {} if stop_threshold is None else {
+        "stop_threshold": stop_threshold}
+    trainer = SYSTEMS[system](objective, cluster,
+                              _make_config(args, **overrides))
+    return trainer.fit(dataset), dataset
+
+
+def cmd_datasets(args) -> int:
+    rows = []
+    for name in dataset_names():
+        card = CATALOG[name]
+        rows.append([name, f"{card.spec.n_rows:,}",
+                     f"{card.spec.n_features:,}",
+                     "under" if card.is_underdetermined else "determined",
+                     f"{card.paper_size_gb}GB"])
+    print(format_table(
+        ["name", "rows", "features", "conditioning", "paper size"],
+        rows, title="analog dataset catalog (see Table I in the paper)"))
+    return 0
+
+
+def cmd_train(args) -> int:
+    result, dataset = _fit(args.system, args)
+    print(f"{args.system} on {dataset.name}: "
+          f"{result.history.total_steps} steps, "
+          f"{result.history.total_seconds:.3f} simulated seconds")
+    rows = [[p.step, round(p.seconds, 4), round(p.objective, 6)]
+            for p in result.history]
+    print(format_table(["step", "sim seconds", "objective"], rows))
+    if result.diverged:
+        print("WARNING: training diverged")
+    acc = result.model.accuracy(dataset.X, dataset.y)
+    print(f"final objective {result.final_objective:.4f}, "
+          f"training accuracy {acc:.1%}")
+    if args.export_csv:
+        write_history_csv([result.history], args.export_csv)
+        print(f"wrote {args.export_csv}")
+    if args.export_json:
+        write_histories_json([result.history], args.export_json)
+        print(f"wrote {args.export_json}")
+    return 1 if result.diverged else 0
+
+
+def cmd_compare(args) -> int:
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    unknown = [s for s in systems if s not in SYSTEMS]
+    if unknown:
+        print(f"unknown systems: {unknown}; choose from {sorted(SYSTEMS)}",
+              file=sys.stderr)
+        return 2
+    histories = []
+    for system in systems:
+        result, _ = _fit(system, args)
+        histories.append(result.history)
+    convergence = evaluate_convergence(histories)
+    rows = []
+    baseline = convergence[systems[0]]
+    for system in systems:
+        conv = convergence[system]
+        rows.append([system, "yes" if conv.converged else "no",
+                     conv.steps, None if conv.seconds is None
+                     else round(conv.seconds, 3),
+                     format_speedup(speedup(baseline, conv, "seconds"))])
+    print(format_table(
+        ["system", "converged", "steps to 0.01", "sec to 0.01",
+         f"speedup vs {systems[0]}"], rows,
+        title=f"{args.dataset}, loss={args.loss}, L2={args.l2:g}"))
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    result, dataset = _fit(args.system, args)
+    print(f"{args.system} on {dataset.name} "
+          f"({result.history.total_steps} steps)")
+    print(render_ascii(result.trace, width=args.width))
+    print(summarize(result.trace).describe())
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from .planner import ADVISABLE_SYSTEMS, WorkloadProfile, rank_systems
+    dataset = _load_dataset(args.dataset)
+    cluster = cluster1(executors=args.executors)
+    profile = WorkloadProfile(
+        model_size=dataset.n_features,
+        nnz_per_step_per_worker=dataset.nnz / cluster.num_executors)
+    costs = rank_systems(cluster, profile, ADVISABLE_SYSTEMS)
+    rows = [[c.system, round(1000 * c.compute, 3),
+             round(1000 * c.communication, 3), round(1000 * c.driver, 3),
+             round(1000 * c.total, 3)] for c in costs]
+    print(format_table(
+        ["system", "compute ms", "comm ms", "driver ms", "total ms"],
+        rows, title=f"per-step cost decomposition: {dataset.name}, "
+                    f"{args.executors} executors (cheapest first)"))
+    print("Note: per-step cost only — SendModel systems also need far "
+          "fewer steps (Figure 4).")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .tuning import GridSearch
+    dataset = _load_dataset(args.dataset)
+    grid = {
+        "learning_rate": [float(v) for v in
+                          args.learning_rates.split(",") if v],
+        "local_chunk_size": [int(v) for v in
+                             args.chunk_sizes.split(",") if v],
+    }
+    search = GridSearch(
+        trainer_cls=SYSTEMS[args.system],
+        objective=_make_objective(args),
+        cluster=cluster1(executors=args.executors),
+        base_config=_make_config(args),
+    )
+    points = search.run(dataset, grid)
+    rows = [[p.params["learning_rate"], p.params["local_chunk_size"],
+             round(p.best_objective, 4),
+             "yes" if p.converged else "no",
+             None if p.seconds_to_target is None
+             else round(p.seconds_to_target, 3)] for p in points]
+    print(format_table(
+        ["learning rate", "chunk size", "best f(w)", "converged",
+         "sec to target"], rows,
+        title=f"grid search: {args.system} on {dataset.name} "
+              "(best first)"))
+    print(f"best: {points[0].params}")
+    return 0
+
+
+COMMANDS = {
+    "datasets": cmd_datasets,
+    "train": cmd_train,
+    "compare": cmd_compare,
+    "gantt": cmd_gantt,
+    "plan": cmd_plan,
+    "tune": cmd_tune,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Simulated cluster substrate: nodes, network, compute cost, traces.
+
+Training math in this reproduction is *real*; the cluster substrate only
+assigns simulated wall-clock time to the work and communication that the
+trainers perform, so that experiments at 8 or 128 "machines" run on one
+host while preserving the relative timing behaviour the paper analyzes.
+"""
+
+from .cluster import ClusterSpec, cluster1, cluster2
+from .cost import ComputeCostModel
+from .network import GIGABIT, TEN_GIGABIT, NetworkModel
+from .node import (LogNormalStragglers, NodeSpec, NoStragglers,
+                   StragglerModel, heterogeneous_nodes, homogeneous_nodes)
+from .trace import SPAN_KINDS, Span, Trace
+
+__all__ = [
+    "ClusterSpec", "cluster1", "cluster2",
+    "ComputeCostModel",
+    "NetworkModel", "GIGABIT", "TEN_GIGABIT",
+    "NodeSpec", "StragglerModel", "NoStragglers", "LogNormalStragglers",
+    "homogeneous_nodes", "heterogeneous_nodes",
+    "Span", "Trace", "SPAN_KINDS",
+]

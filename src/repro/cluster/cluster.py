@@ -1,0 +1,109 @@
+"""Cluster specifications and the two paper testbeds.
+
+A :class:`ClusterSpec` bundles the node list, the network model, the compute
+cost model and the straggler model, and exposes the per-(worker, step)
+slowdown sampling used by BSP barriers.
+
+Presets reproduce the paper's Section V-A:
+
+* :func:`cluster1` — 9 nodes (1 driver + 8 executors), 2x8-core CPUs,
+  24 GB memory, 1 Gbps network, homogeneous.
+* :func:`cluster2` — n heterogeneous nodes out of a 953-node production
+  cluster, 2x10-core CPUs, ~360 GB memory each, 10 Gbps network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cost import ComputeCostModel
+from .network import GIGABIT, TEN_GIGABIT, NetworkModel
+from .node import (LogNormalStragglers, NodeSpec, NoStragglers,
+                   StragglerModel, heterogeneous_nodes, homogeneous_nodes)
+
+__all__ = ["ClusterSpec", "cluster1", "cluster2"]
+
+
+@dataclass
+class ClusterSpec:
+    """A simulated cluster: nodes + network + cost + straggler models.
+
+    The first node is the driver in driver-based engines; the remaining
+    ``len(nodes) - 1`` nodes are executors.  Engines that have no driver
+    (pure parameter-server deployments) may use all nodes as workers.
+    """
+
+    nodes: list[NodeSpec]
+    network: NetworkModel = field(default_factory=NetworkModel)
+    compute: ComputeCostModel = field(default_factory=ComputeCostModel)
+    stragglers: StragglerModel = field(default_factory=NoStragglers)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster must have at least one node")
+        ids = [n.node_id for n in self.nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("node ids must be unique")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def driver(self) -> NodeSpec:
+        return self.nodes[0]
+
+    @property
+    def executors(self) -> list[NodeSpec]:
+        return self.nodes[1:]
+
+    @property
+    def num_executors(self) -> int:
+        return max(0, len(self.nodes) - 1)
+
+    def slowdown(self, node: NodeSpec, step: int) -> float:
+        """Sample the transient slowdown for ``node`` at superstep ``step``."""
+        return self.stragglers.slowdown(self._rng, node, step)
+
+    def reset_rng(self) -> None:
+        """Reset the straggler RNG so repeated runs are reproducible."""
+        self._rng = np.random.default_rng(self.seed)
+
+
+def cluster1(executors: int = 8, stragglers: StragglerModel | None = None,
+             seed: int = 0,
+             compute: ComputeCostModel | None = None) -> ClusterSpec:
+    """The paper's Cluster 1: homogeneous, 1 Gbps, 1 driver + 8 executors."""
+    nodes = homogeneous_nodes(executors + 1, speed=1.0, cores=16,
+                              memory_gb=24.0)
+    return ClusterSpec(
+        nodes=nodes,
+        network=NetworkModel(bandwidth=GIGABIT, alpha=1.0e-3),
+        compute=compute if compute is not None else ComputeCostModel(),
+        stragglers=stragglers if stragglers is not None else NoStragglers(),
+        seed=seed,
+    )
+
+
+def cluster2(machines: int = 32, speed_sigma: float = 0.25,
+             straggler_sigma: float = 0.35, seed: int = 0,
+             compute: ComputeCostModel | None = None) -> ClusterSpec:
+    """A slice of the paper's Cluster 2: heterogeneous, 10 Gbps.
+
+    ``machines`` counts executors; one extra node is added as the driver.
+    Heterogeneity has two layers (static speed spread + transient
+    stragglers), which is what produces the poor 32->128 scaling of
+    Figure 6(d).
+    """
+    if machines < 1:
+        raise ValueError("need at least one machine")
+    rng = np.random.default_rng(seed)
+    nodes = heterogeneous_nodes(machines + 1, rng, speed_sigma=speed_sigma)
+    return ClusterSpec(
+        nodes=nodes,
+        network=NetworkModel(bandwidth=TEN_GIGABIT, alpha=5.0e-4),
+        compute=compute if compute is not None else ComputeCostModel(),
+        stragglers=LogNormalStragglers(sigma=straggler_sigma),
+        seed=seed,
+    )

@@ -1,0 +1,106 @@
+"""Alpha-beta network cost model for the simulated cluster.
+
+Transfers are priced with the classic alpha-beta model from the collective
+communication literature (Thakur et al., the paper's reference [16]):
+
+    seconds(b bytes) = alpha + b / bandwidth
+
+``alpha`` is the per-message latency (network round-trip + serialization
+setup) and ``bandwidth`` is the point-to-point link bandwidth in bytes per
+second.
+
+Two details matter for reproducing the paper's bottleneck analysis:
+
+* **Ingress serialization.**  A node receiving messages from many peers
+  receives them one after another — the driver's downlink is a single
+  shared link.  :meth:`NetworkModel.fan_in_seconds` prices an m-way fan-in
+  as the *sum* of the transfers (plus one latency per message).  This is
+  bottleneck B2: with k executors pushing gradients of size m, the driver
+  pays k transfers back to back.
+* **Concurrent pairwise exchange.**  In a shuffle (and therefore in
+  Reduce-Scatter / AllGather), *every* node sends and receives
+  simultaneously on its own links.  :meth:`NetworkModel.round_seconds`
+  prices one communication round of a balanced exchange as the *maximum*
+  cost over nodes, not the sum — this is why removing the driver from the
+  data path shortens latency even though total traffic is unchanged
+  (Section IV-B2's ``2 k m`` invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "GIGABIT", "TEN_GIGABIT"]
+
+GIGABIT = 1.0e9 / 8.0  # bytes/second on a 1 Gbps link
+TEN_GIGABIT = 1.0e10 / 8.0  # bytes/second on a 10 Gbps link
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Prices point-to-point and collective transfers in simulated seconds.
+
+    Parameters
+    ----------
+    bandwidth:
+        Point-to-point bandwidth in bytes/second.
+    alpha:
+        Per-message latency in seconds.
+    bytes_per_value:
+        Wire size of one model/gradient coordinate.  Spark ships doubles
+        (8 bytes); serialization overhead can be folded in here.
+    """
+
+    bandwidth: float = GIGABIT
+    alpha: float = 1.0e-3
+    bytes_per_value: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if self.bytes_per_value <= 0:
+            raise ValueError("bytes_per_value must be positive")
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def transfer_seconds(self, values: float) -> float:
+        """Cost of one point-to-point message of ``values`` coordinates."""
+        if values < 0:
+            raise ValueError("cannot transfer a negative number of values")
+        if values == 0:
+            return 0.0
+        return self.alpha + values * self.bytes_per_value / self.bandwidth
+
+    # ------------------------------------------------------------------
+    # aggregate patterns
+    # ------------------------------------------------------------------
+    def fan_in_seconds(self, senders: int, values_each: float) -> float:
+        """Cost of ``senders`` nodes each pushing a message to ONE receiver.
+
+        The receiver's downlink serializes the transfers, so the cost is the
+        sum of the individual messages.  This is the driver-side pattern of
+        MLlib's SendGradient (and of the root of ``treeAggregate``).
+        """
+        if senders < 0:
+            raise ValueError("senders must be non-negative")
+        return senders * self.transfer_seconds(values_each)
+
+    def fan_out_seconds(self, receivers: int, values_each: float) -> float:
+        """Cost of ONE node pushing a message to ``receivers`` nodes.
+
+        The sender's uplink serializes the copies (Spark's driver-side
+        broadcast behaves this way for the first hop).
+        """
+        return self.fan_in_seconds(receivers, values_each)
+
+    def round_seconds(self, values_per_node: float) -> float:
+        """Cost of one balanced all-pairs round.
+
+        Every node simultaneously sends and receives ``values_per_node``
+        coordinates on its own links; the round costs what the busiest node
+        pays, i.e. a single transfer.  Used for shuffle-based collectives.
+        """
+        return self.transfer_seconds(values_per_node)

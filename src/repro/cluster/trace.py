@@ -1,0 +1,119 @@
+"""Simulated-time execution traces (the substrate for gantt charts).
+
+Figure 3 of the paper is a gantt chart: one row per cluster node, colored
+bars for activities over time.  We reproduce it by having every trainer emit
+:class:`Span` records into a :class:`Trace` as the simulation advances.
+
+Span kinds follow the activities visible in the paper's charts:
+
+* ``compute``   — local gradient / model-update work on an executor,
+* ``aggregate`` — combining gradients or models (driver, intermediate
+  aggregator of treeAggregate, or partition owner in MLlib*),
+* ``send`` / ``recv`` — time attributable to network transfers,
+* ``wait``      — idle time at a BSP barrier (the bottleneck made visible),
+* ``update``    — the driver applying a gradient to the global model,
+* ``barrier``   — zero-or-more bookkeeping marker for stage boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = ["Span", "Trace", "SPAN_KINDS"]
+
+SPAN_KINDS = frozenset(
+    {"compute", "aggregate", "send", "recv", "wait", "update", "barrier"}
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One colored bar in the gantt chart.
+
+    ``node`` is the node label (``"driver"`` or ``"executor-3"``); times are
+    simulated seconds since the start of training.
+    """
+
+    node: str
+    start: float
+    end: float
+    kind: str
+    step: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPAN_KINDS:
+            raise ValueError(f"unknown span kind {self.kind!r}; "
+                             f"expected one of {sorted(SPAN_KINDS)}")
+        if self.end < self.start:
+            raise ValueError(
+                f"span ends ({self.end}) before it starts ({self.start})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """An append-only collection of spans with summary helpers."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+
+    def add(self, node: str, start: float, end: float, kind: str,
+            step: int = -1) -> Span:
+        """Record one span and return it."""
+        span = Span(node=node, start=start, end=end, kind=kind, step=step)
+        self._spans.append(span)
+        return span
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def nodes(self) -> list[str]:
+        """Node labels in first-appearance order."""
+        seen: dict[str, None] = {}
+        for span in self._spans:
+            seen.setdefault(span.node, None)
+        return list(seen)
+
+    def end_time(self) -> float:
+        """Simulated time at which the last span ends."""
+        return max((s.end for s in self._spans), default=0.0)
+
+    def spans_for(self, node: str) -> list[Span]:
+        return [s for s in self._spans if s.node == node]
+
+    def busy_seconds(self, node: str,
+                     kinds: frozenset[str] | None = None) -> float:
+        """Total span time on ``node``, optionally restricted to ``kinds``.
+
+        ``wait`` and ``barrier`` spans are never counted as busy.
+        """
+        busy_kinds = kinds if kinds is not None else (
+            SPAN_KINDS - {"wait", "barrier"})
+        return sum(s.duration for s in self._spans
+                   if s.node == node and s.kind in busy_kinds)
+
+    def wait_seconds(self, node: str) -> float:
+        """Total barrier-wait time on ``node``."""
+        return sum(s.duration for s in self._spans
+                   if s.node == node and s.kind == "wait")
+
+    def utilization(self, node: str) -> float:
+        """Busy fraction of the makespan for ``node`` (0 if empty trace)."""
+        total = self.end_time()
+        if total <= 0:
+            return 0.0
+        return self.busy_seconds(node) / total
+
+    def kind_totals(self) -> dict[str, float]:
+        """Total seconds per span kind across all nodes."""
+        totals: dict[str, float] = defaultdict(float)
+        for span in self._spans:
+            totals[span.kind] += span.duration
+        return dict(totals)

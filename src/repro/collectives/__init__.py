@@ -1,0 +1,7 @@
+"""MPI-style collectives (Reduce-Scatter, AllGather, AllReduce) on shuffle."""
+
+from .allreduce import (all_gather, all_reduce_average, all_reduce_weighted,
+                        partition_slices, reduce_scatter, traffic_values)
+
+__all__ = ["partition_slices", "reduce_scatter", "all_gather",
+           "all_reduce_average", "all_reduce_weighted", "traffic_values"]

@@ -1,0 +1,17 @@
+"""The paper's systems: MLlib baseline, MLlib + model averaging, MLlib*."""
+
+from .config import TrainerConfig
+from .local import send_model_update
+from .mllib import MLlibTrainer
+from .mllib_ma import MLlibModelAveragingTrainer
+from .mllib_star import MLlibStarTrainer
+from .spark_ml import SparkMlStarTrainer, SparkMlTrainer
+from .trainer import DistributedTrainer, TrainResult
+
+__all__ = [
+    "TrainerConfig",
+    "DistributedTrainer", "TrainResult",
+    "MLlibTrainer", "MLlibModelAveragingTrainer", "MLlibStarTrainer",
+    "SparkMlTrainer", "SparkMlStarTrainer",
+    "send_model_update",
+]

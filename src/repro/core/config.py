@@ -1,0 +1,94 @@
+"""Trainer configuration shared by all systems.
+
+One config object covers every trainer; fields that a given paradigm does
+not use are simply ignored (e.g. ``batch_fraction`` drives SendGradient
+batch sampling and PS batch sizes, while SendModel trainers use
+``local_epochs`` and ``local_chunk_size``).  The paper tunes batch size and
+learning rate per (system, dataset) by grid search; the benches do a small
+grid over these fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TrainerConfig"]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyperparameters and run control for distributed MGD.
+
+    Parameters
+    ----------
+    learning_rate:
+        Base step size (eta).
+    lr_schedule:
+        ``constant``, ``inv_sqrt`` (MLlib's default decay) or ``inv_time``.
+    batch_fraction:
+        Mini-batch size as a fraction of each worker's partition
+        (MLlib's ``miniBatchFraction``; also Petuum/Angel batch size).
+    local_epochs:
+        SendModel only: local passes over the partition per communication
+        step (the ``T'`` of Algorithm 2).
+    local_chunk_size:
+        SendModel only: examples per local SGD update.  1 is textbook
+        per-example SGD; larger values vectorize the same schedule.
+    lazy_l2:
+        Use the Bottou lazy/scaled representation for L2 decay in local
+        SGD (Section IV-B1).  Eager mode exists for the ablation bench.
+    max_steps:
+        Hard cap on communication steps.
+    eval_every:
+        Evaluate the full-dataset objective every this many steps
+        (monitoring only; costs no simulated time).  The final step is
+        always evaluated.  Raise this for systems that take thousands of
+        cheap steps (MLlib, Petuum) to keep host-side runtime down.
+    tasks_per_executor:
+        Waves of tasks per executor in SendGradient trainers
+        (Section V-C).  Each wave pays a task-launch overhead and ships
+        its own gradient into the aggregation; the paper found 1 optimal.
+    stop_threshold:
+        Stop early once the full-dataset objective is at or below this
+        value (None disables early stopping).
+    divergence_limit:
+        Abort when the objective exceeds this value (catches model
+        summation blowing up).
+    seed:
+        Seed for batch sampling / shuffling; runs are deterministic.
+    """
+
+    learning_rate: float = 0.1
+    lr_schedule: str = "constant"
+    batch_fraction: float = 0.01
+    local_epochs: int = 1
+    local_chunk_size: int = 32
+    lazy_l2: bool = True
+    max_steps: int = 100
+    eval_every: int = 1
+    tasks_per_executor: int = 1
+    stop_threshold: float | None = None
+    divergence_limit: float = 1.0e6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 < self.batch_fraction <= 1:
+            raise ValueError("batch_fraction must be in (0, 1]")
+        if self.local_epochs < 1:
+            raise ValueError("local_epochs must be at least 1")
+        if self.local_chunk_size < 1:
+            raise ValueError("local_chunk_size must be at least 1")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be at least 1")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be at least 1")
+        if self.tasks_per_executor < 1:
+            raise ValueError("tasks_per_executor must be at least 1")
+        if self.divergence_limit <= 0:
+            raise ValueError("divergence_limit must be positive")
+
+    def with_overrides(self, **kwargs) -> "TrainerConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

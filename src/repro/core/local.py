@@ -1,0 +1,38 @@
+"""Shared SendModel worker computation.
+
+Every SendModel system (MLlib + model averaging, MLlib*, Petuum*, Angel)
+starts a communication step by running local updates from the current
+global model.  This helper runs the configured number of local SGD passes
+and reports the work stats the cost model needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Partition
+from ..glm import LocalStats, Objective, sgd_epoch
+from .config import TrainerConfig
+
+__all__ = ["send_model_update"]
+
+
+def send_model_update(objective: Objective, w: np.ndarray,
+                      partition: Partition, lr: float, config: TrainerConfig,
+                      rng: np.random.Generator,
+                      ) -> tuple[np.ndarray, LocalStats]:
+    """Algorithm 3's ``UpdateModel``: local SGD passes from the global model.
+
+    Runs ``config.local_epochs`` shuffled passes of chunked SGD (chunk size
+    ``config.local_chunk_size``) over the worker's partition, using the lazy
+    L2 representation when configured.  Returns the worker's local model and
+    merged work stats.
+    """
+    current = w
+    total = LocalStats()
+    for _ in range(config.local_epochs):
+        current, stats = sgd_epoch(
+            objective, current, partition.X, partition.y, lr, rng,
+            chunk_size=config.local_chunk_size, lazy=config.lazy_l2)
+        total = total.merge(stats)
+    return current, total

@@ -1,0 +1,88 @@
+"""MLlib + model averaging: B1 fixed, B2 still present (Figure 3(b)).
+
+The first of the paper's two improvements in isolation: workers run local
+SGD (SendModel) so each communication step contains many model updates, but
+models are still combined through the driver with ``treeAggregate`` and
+broadcast back — the communication pattern is unchanged from MLlib.
+
+The paper uses this intermediate system to separate the contribution of
+model averaging (fewer steps to converge) from that of AllReduce (cheaper
+steps); bench Fig. 3(b) and the Fig. 4 speedup decomposition rely on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import ClusterSpec, Trace
+from ..engine import (BroadcastModel, BspEngine, PartitionedDataset,
+                      TreeAggregateModel)
+from ..glm import Objective
+from .config import TrainerConfig
+from .local import send_model_update
+from .trainer import DistributedTrainer
+
+__all__ = ["MLlibModelAveragingTrainer"]
+
+
+class MLlibModelAveragingTrainer(DistributedTrainer):
+    """SendModel through the unchanged MLlib aggregation path."""
+
+    system = "MLlib+MA"
+
+    def __init__(self, objective: Objective, cluster: ClusterSpec,
+                 config: TrainerConfig | None = None,
+                 tree: TreeAggregateModel | None = None,
+                 broadcast: BroadcastModel | None = None) -> None:
+        super().__init__(objective, cluster, config)
+        self._tree = tree
+        self._broadcast = broadcast
+        self._engine: BspEngine | None = None
+        self._rngs: list[np.random.Generator] = []
+
+    # ------------------------------------------------------------------
+    def _prepare(self, data: PartitionedDataset) -> None:
+        self._engine = BspEngine(self.cluster, tree=self._tree,
+                                 broadcast=self._broadcast)
+        self._rngs = self._worker_rngs(data.num_partitions)
+
+    def _clock(self) -> float:
+        assert self._engine is not None, "fit() not started"
+        return self._engine.now
+
+    def _trace(self) -> Trace:
+        assert self._engine is not None, "fit() not started"
+        return self._engine.trace
+
+    # ------------------------------------------------------------------
+    def _run_step(self, step: int, w: np.ndarray,
+                  data: PartitionedDataset) -> np.ndarray:
+        engine = self._engine
+        assert engine is not None
+        m = data.n_features
+        lr = self.schedule.at(step)
+
+        # Phase 1: every executor updates a local model over its partition.
+        locals_: list[np.ndarray] = []
+        durations: list[float] = []
+        for i, part in enumerate(data.partitions):
+            local_w, stats = send_model_update(
+                self.objective, w, part, lr, self.config, self._rngs[i])
+            locals_.append(local_w)
+            durations.append(self._compute_seconds(
+                stats.nnz_processed, stats.dense_ops, i))
+        engine.compute_phase(durations, step)
+
+        # Phase 2: unchanged MLlib communication — models (not gradients)
+        # flow through treeAggregate to the driver...
+        engine.tree_aggregate_phase(m, step)
+
+        # ...which performs the model averaging (one dense pass) ...
+        new_w = np.mean(locals_, axis=0)
+        average_seconds = self.cluster.compute.dense_op_seconds(
+            m, self.cluster.driver)
+        engine.driver_update_phase(average_seconds, step)
+
+        # ...and broadcasts the averaged model back (bottleneck B2 intact).
+        engine.broadcast_phase(m, step)
+        return new_w

@@ -1,0 +1,173 @@
+"""Distributed trainer base class and result container.
+
+Every system in the study — MLlib, MLlib + model averaging, MLlib*,
+Petuum, Petuum* and Angel — extends :class:`DistributedTrainer`.  The base
+class owns the training loop skeleton shared by Algorithm 2 and
+Algorithm 3:
+
+1. partition the data across workers (``LoadData``),
+2. initialize the global model (``InitialModel``),
+3. repeat communication steps until convergence or the step cap,
+4. after every step, evaluate the full-dataset objective (the paper's
+   y-axis) against the *simulated* clock (the paper's x-axis).
+
+Subclasses implement :meth:`_prepare` (engine/state construction) and
+:meth:`_run_step` (one communication step: local work + communication,
+returning the new global model).  Objective evaluation is monitoring and
+costs no simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import ClusterSpec, Trace
+from ..data import SparseDataset
+from ..engine import PartitionedDataset
+from ..glm import GLMModel, Objective, get_schedule
+from ..metrics import TrainingHistory
+from .config import TrainerConfig
+
+__all__ = ["TrainResult", "DistributedTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """Everything a training run produced."""
+
+    model: GLMModel
+    history: TrainingHistory
+    trace: Trace
+    converged: bool
+    diverged: bool
+
+    @property
+    def final_objective(self) -> float:
+        return self.history.final_objective
+
+
+class DistributedTrainer:
+    """Template for distributed MGD systems.
+
+    Parameters
+    ----------
+    objective:
+        The GLM objective (loss + regularizer) to minimize.
+    cluster:
+        Simulated cluster the system runs on.
+    config:
+        Hyperparameters and run control.
+    """
+
+    #: Human-readable system name, overridden by subclasses.
+    system = "abstract"
+
+    def __init__(self, objective: Objective, cluster: ClusterSpec,
+                 config: TrainerConfig | None = None) -> None:
+        self.objective = objective
+        self.cluster = cluster
+        self.config = config if config is not None else TrainerConfig()
+        self.schedule = get_schedule(self.config.lr_schedule,
+                                     self.config.learning_rate)
+
+    # ------------------------------------------------------------------
+    # subclass contract
+    # ------------------------------------------------------------------
+    def _prepare(self, data: PartitionedDataset) -> None:
+        """Build engine/state for a run.  Called once per ``fit``."""
+        raise NotImplementedError
+
+    def _run_step(self, step: int, w: np.ndarray,
+                  data: PartitionedDataset) -> np.ndarray:
+        """Execute communication step ``step`` (1-based); return new model."""
+        raise NotImplementedError
+
+    def _clock(self) -> float:
+        """Current simulated time; subclasses expose their engine's clock."""
+        raise NotImplementedError
+
+    def _trace(self) -> Trace:
+        """The trace collected so far."""
+        raise NotImplementedError
+
+    def _on_initial_model(self, w: np.ndarray,
+                          data: PartitionedDataset) -> None:
+        """Hook invoked once with the initial model (after ``_prepare``).
+
+        Trainers that keep internal per-worker state seeded from the
+        initial model (e.g. the asynchronous trainer) override this; the
+        default is a no-op because most trainers receive the model through
+        ``_run_step``.
+        """
+
+    # ------------------------------------------------------------------
+    def _worker_rngs(self, num_workers: int) -> list[np.random.Generator]:
+        """Independent, reproducible per-worker RNG streams."""
+        root = np.random.SeedSequence(self.config.seed)
+        return [np.random.default_rng(s) for s in root.spawn(num_workers)]
+
+    def _batch_size(self, partition_rows: int) -> int:
+        """Mini-batch rows for a partition under ``batch_fraction``."""
+        return max(1, int(round(self.config.batch_fraction * partition_rows)))
+
+    def _compute_seconds(self, nnz_processed: int, dense_ops: int,
+                         executor_index: int) -> float:
+        """Price local work on executor ``executor_index``."""
+        node = self.cluster.executors[executor_index]
+        cm = self.cluster.compute
+        return (cm.sparse_pass_seconds(nnz_processed, node)
+                + cm.dense_op_seconds(dense_ops, node))
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: SparseDataset,
+            partition_strategy: str = "random",
+            initial_weights: np.ndarray | None = None) -> TrainResult:
+        """Train on ``dataset``; returns model + history + trace.
+
+        ``initial_weights`` warm-starts from a previous model (e.g.
+        ``previous_result.model.weights``) instead of the zero vector —
+        Algorithm 2's ``InitialModel(w0)`` with a non-trivial ``w0``.
+        """
+        data = PartitionedDataset.load(dataset, self.cluster,
+                                       strategy=partition_strategy,
+                                       seed=self.config.seed)
+        self._prepare(data)
+
+        if initial_weights is None:
+            w = np.zeros(dataset.n_features)
+        else:
+            if initial_weights.shape != (dataset.n_features,):
+                raise ValueError(
+                    f"initial_weights has shape {initial_weights.shape}, "
+                    f"expected ({dataset.n_features},)")
+            w = np.array(initial_weights, dtype=np.float64, copy=True)
+        self._on_initial_model(w, data)
+        history = TrainingHistory(system=self.system, dataset=dataset.name,
+                                  detail=self.objective.describe())
+        objective_value = self.objective.value(w, dataset.X, dataset.y)
+        history.record(0, self._clock(), objective_value)
+
+        converged = False
+        diverged = False
+        for step in range(1, self.config.max_steps + 1):
+            w = self._run_step(step, w, data)
+            is_last = step == self.config.max_steps
+            if step % self.config.eval_every and not is_last:
+                continue
+            objective_value = self.objective.value(w, dataset.X, dataset.y)
+            history.record(step, self._clock(), objective_value)
+            if (not math.isfinite(objective_value)
+                    or objective_value > self.config.divergence_limit):
+                diverged = True
+                break
+            threshold = self.config.stop_threshold
+            if threshold is not None and objective_value <= threshold:
+                converged = True
+                break
+
+        model = GLMModel(weights=w, objective=self.objective)
+        return TrainResult(model=model, history=history, trace=self._trace(),
+                           converged=converged, diverged=diverged)

@@ -1,0 +1,17 @@
+"""Spark-like BSP execution engine: RDDs, driver, aggregation, shuffle."""
+
+from .aggregation import TreeAggregateModel, TreeAggregateTiming
+from .broadcast import BroadcastModel
+from .dag import MiniRdd, RddContext
+from .driver import DRIVER_LABEL, BspEngine, executor_label
+from .rdd import PartitionedDataset
+from .shuffle import ShuffleModel, exchange
+
+__all__ = [
+    "BspEngine", "DRIVER_LABEL", "executor_label",
+    "PartitionedDataset",
+    "TreeAggregateModel", "TreeAggregateTiming",
+    "BroadcastModel",
+    "ShuffleModel", "exchange",
+    "RddContext", "MiniRdd",
+]

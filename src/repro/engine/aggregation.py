@@ -1,0 +1,121 @@
+"""MLlib's ``treeAggregate``: hierarchical gradient/model aggregation.
+
+MLlib alleviates (but does not remove) the driver bottleneck by aggregating
+through intermediate executors: with ``k`` executors and depth 2, roughly
+``sqrt(k)`` executors first combine the vectors of their group, then the
+driver combines the ``sqrt(k)`` partial aggregates (Figure 2(a)).
+
+:class:`TreeAggregateModel` prices the two levels under the alpha-beta
+network model.  The receiving node of each level pays serialized ingress
+(one message after another) plus the dense vector additions — this is
+bottleneck B2 made quantitative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cluster import ClusterSpec
+
+__all__ = ["TreeAggregateModel", "TreeAggregateTiming"]
+
+
+@dataclass(frozen=True)
+class TreeAggregateTiming:
+    """Timing breakdown of one treeAggregate call.
+
+    ``groups`` maps each aggregator's executor index to the number of
+    vectors it combines (including its own).
+    """
+
+    aggregator_seconds: float
+    driver_seconds: float
+    groups: dict[int, int]
+
+    @property
+    def total_seconds(self) -> float:
+        return self.aggregator_seconds + self.driver_seconds
+
+
+@dataclass(frozen=True)
+class TreeAggregateModel:
+    """Cost model for hierarchical aggregation of size-``m`` vectors.
+
+    Parameters
+    ----------
+    depth:
+        Aggregation depth.  ``depth=1`` means every executor sends straight
+        to the driver (flat aggregation, the pre-treeAggregate behaviour);
+        ``depth=2`` is MLlib's default hierarchical scheme.
+    """
+
+    depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.depth not in (1, 2):
+            raise ValueError("supported depths are 1 (flat) and 2 (MLlib)")
+
+    def num_aggregators(self, k: int) -> int:
+        """Number of intermediate aggregators for ``k`` executors."""
+        if k < 1:
+            raise ValueError("need at least one executor")
+        if self.depth == 1:
+            return 0
+        return min(k, max(1, math.isqrt(k)))
+
+    def plan(self, k: int) -> dict[int, int]:
+        """Assign executors to aggregator groups.
+
+        Returns ``{aggregator_executor_index: group_size}``; group members
+        are assigned round-robin so sizes differ by at most one.  With
+        depth 1 the dict is empty (everyone sends to the driver).
+        """
+        a = self.num_aggregators(k)
+        if a == 0:
+            return {}
+        sizes = {i: 0 for i in range(a)}
+        for executor in range(k):
+            sizes[executor % a] += 1
+        return sizes
+
+    def timing(self, cluster: ClusterSpec, model_size: int,
+               messages_per_executor: int = 1) -> TreeAggregateTiming:
+        """Price one aggregation of size-``m`` vectors to the driver.
+
+        ``messages_per_executor`` > 1 models multiple waves of tasks per
+        executor (Section V-C): every task ships its own full-size vector
+        into the aggregation, multiplying level-1 traffic.
+        """
+        if messages_per_executor < 1:
+            raise ValueError("messages_per_executor must be at least 1")
+        k = cluster.num_executors
+        net = cluster.network
+        compute = cluster.compute
+        groups = self.plan(k)
+        mpe = messages_per_executor
+
+        if not groups:
+            driver = (net.fan_in_seconds(k * mpe, model_size)
+                      + compute.dense_op_seconds(k * mpe * model_size,
+                                                 cluster.driver))
+            return TreeAggregateTiming(aggregator_seconds=0.0,
+                                       driver_seconds=driver, groups={})
+
+        # Level 1: aggregators receive their group's vectors (minus their
+        # own, which are local) serially and add them up; all aggregators
+        # run concurrently.
+        level1 = 0.0
+        for agg_index, size in groups.items():
+            node = cluster.executors[agg_index]
+            seconds = (net.fan_in_seconds((size - 1) * mpe, model_size)
+                       + compute.dense_op_seconds(size * mpe * model_size,
+                                                  node))
+            level1 = max(level1, seconds)
+
+        # Level 2: the driver receives one partial per aggregator.
+        driver = (net.fan_in_seconds(len(groups), model_size)
+                  + compute.dense_op_seconds(len(groups) * model_size,
+                                             cluster.driver))
+        return TreeAggregateTiming(aggregator_seconds=level1,
+                                   driver_seconds=driver, groups=groups)

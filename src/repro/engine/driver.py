@@ -1,0 +1,212 @@
+"""The BSP execution engine: simulated clock, barriers, trace emission.
+
+:class:`BspEngine` is the reproduction's stand-in for a Spark driver
+runtime.  Trainers describe each superstep as a sequence of *phases*; the
+engine advances a single global simulated clock through them, samples
+straggler slowdowns, enforces barrier-to-slowest semantics, and emits
+:class:`~repro.cluster.trace.Span` records for the gantt chart.
+
+Phases available (one per communication pattern in the paper):
+
+* :meth:`compute_phase`       — executors do local work, barrier at the end;
+* :meth:`tree_aggregate_phase`— MLlib's hierarchical aggregation to the driver;
+* :meth:`driver_update_phase` — the driver applies an update to the model;
+* :meth:`broadcast_phase`     — driver ships the model back to executors;
+* :meth:`reduce_scatter_phase`/:meth:`all_gather_phase` — the two shuffle
+  rounds MLlib* replaces the driver round-trip with.
+
+The engine prices time only; the numerical work happens in the trainers.
+"""
+
+from __future__ import annotations
+
+from ..cluster import ClusterSpec, Trace
+from .aggregation import TreeAggregateModel
+from .broadcast import BroadcastModel
+from .shuffle import ShuffleModel
+
+__all__ = ["BspEngine", "DRIVER_LABEL", "executor_label"]
+
+DRIVER_LABEL = "driver"
+
+
+def executor_label(index: int) -> str:
+    """Human-readable label for executor ``index`` (0-based)."""
+    return f"executor-{index + 1}"
+
+
+class BspEngine:
+    """Advances a simulated global clock through BSP phases.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster (nodes, network, costs, stragglers).
+    tree:
+        Aggregation model (depth 1 = flat, 2 = MLlib's treeAggregate).
+    broadcast:
+        Broadcast transport model.
+    """
+
+    def __init__(self, cluster: ClusterSpec,
+                 tree: TreeAggregateModel | None = None,
+                 broadcast: BroadcastModel | None = None) -> None:
+        if cluster.num_executors < 1:
+            raise ValueError("BSP engine needs at least one executor")
+        self.cluster = cluster
+        self.tree = tree if tree is not None else TreeAggregateModel()
+        self.broadcast = broadcast if broadcast is not None else BroadcastModel()
+        self.shuffle = ShuffleModel()
+        self.trace = Trace()
+        self.now = 0.0
+        cluster.reset_rng()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_executors(self) -> int:
+        return self.cluster.num_executors
+
+    def _wait_fill(self, label: str, busy_until: float, barrier: float,
+                   step: int) -> None:
+        """Record idle time between a node's last activity and the barrier."""
+        if barrier > busy_until + 1e-12:
+            self.trace.add(label, busy_until, barrier, "wait", step)
+
+    # ------------------------------------------------------------------
+    def compute_phase(self, seconds_by_executor: list[float],
+                      step: int) -> float:
+        """Local computation on every executor, then a barrier.
+
+        ``seconds_by_executor[i]`` is the *unperturbed* compute time for
+        executor ``i``; the engine multiplies in the per-(node, step)
+        straggler slowdown.  Returns the phase duration.
+        """
+        if len(seconds_by_executor) != self.num_executors:
+            raise ValueError(
+                f"expected {self.num_executors} durations, "
+                f"got {len(seconds_by_executor)}")
+        start = self.now
+        finish_times: list[float] = []
+        for i, base in enumerate(seconds_by_executor):
+            if base < 0:
+                raise ValueError("compute seconds must be non-negative")
+            node = self.cluster.executors[i]
+            duration = base * self.cluster.slowdown(node, step)
+            end = start + duration
+            if duration > 0:
+                self.trace.add(executor_label(i), start, end, "compute", step)
+            finish_times.append(end)
+        barrier = max(finish_times, default=start)
+        for i, end in enumerate(finish_times):
+            self._wait_fill(executor_label(i), end, barrier, step)
+        self._wait_fill(DRIVER_LABEL, start, barrier, step)
+        self.now = barrier
+        return barrier - start
+
+    def tree_aggregate_phase(self, model_size: int, step: int,
+                             messages_per_executor: int = 1) -> float:
+        """Hierarchical aggregation of size-``m`` vectors to the driver.
+
+        ``messages_per_executor`` > 1 models multiple waves of tasks per
+        executor, each shipping its own vector (Section V-C).
+        """
+        timing = self.tree.timing(self.cluster, model_size,
+                                  messages_per_executor)
+        start = self.now
+        send = self.cluster.network.transfer_seconds(model_size)
+
+        level1_end = start + timing.aggregator_seconds
+        aggregators = set(timing.groups)
+        for i in range(self.num_executors):
+            label = executor_label(i)
+            if i in aggregators and timing.groups:
+                self.trace.add(label, start, level1_end, "aggregate", step)
+            else:
+                self.trace.add(label, start, start + send, "send", step)
+                self._wait_fill(label, start + send, level1_end, step)
+
+        driver_end = level1_end + timing.driver_seconds
+        self.trace.add(DRIVER_LABEL, level1_end, driver_end, "aggregate", step)
+        for i in range(self.num_executors):
+            self._wait_fill(executor_label(i), level1_end, driver_end, step)
+        self.now = driver_end
+        return driver_end - start
+
+    def driver_update_phase(self, seconds: float, step: int) -> float:
+        """The driver applies an update while every executor waits."""
+        if seconds < 0:
+            raise ValueError("update seconds must be non-negative")
+        start = self.now
+        end = start + seconds
+        if seconds > 0:
+            self.trace.add(DRIVER_LABEL, start, end, "update", step)
+            for i in range(self.num_executors):
+                self.trace.add(executor_label(i), start, end, "wait", step)
+        self.now = end
+        return seconds
+
+    def broadcast_phase(self, model_size: int, step: int) -> float:
+        """Driver ships the size-``m`` model to all executors."""
+        duration = self.broadcast.seconds(self.cluster, model_size)
+        start = self.now
+        end = start + duration
+        if duration > 0:
+            self.trace.add(DRIVER_LABEL, start, end, "send", step)
+            per_copy = duration / max(1, self.num_executors)
+            for i in range(self.num_executors):
+                # Serial broadcast drains copies one executor at a time,
+                # producing the staircase visible in the paper's chart.
+                recv_start = start + i * per_copy
+                recv_end = recv_start + per_copy
+                self._wait_fill(executor_label(i), start, recv_start, step)
+                self.trace.add(executor_label(i), recv_start,
+                               min(recv_end, end), "recv", step)
+                self._wait_fill(executor_label(i), recv_end, end, step)
+        self.now = end
+        return duration
+
+    # ------------------------------------------------------------------
+    # MLlib* shuffle-based collective phases
+    # ------------------------------------------------------------------
+    def _all_to_all_phase(self, model_size: int, step: int, kind: str,
+                          combine_coords: float) -> float:
+        """One shuffle round: every executor exchanges model pieces.
+
+        Each executor sends ``k - 1`` messages of ``m / k`` coordinates on
+        its own uplink (concurrently with its peers) and then optionally
+        combines received pieces (``combine_coords`` dense coordinate ops,
+        straggler-free since it is tiny).
+        """
+        k = self.num_executors
+        piece = model_size / k
+        send_seconds = self.shuffle.round_seconds(self.cluster, k - 1, piece)
+        start = self.now
+        finish: list[float] = []
+        for i in range(k):
+            label = executor_label(i)
+            node = self.cluster.executors[i]
+            end = start + send_seconds
+            if send_seconds > 0:
+                self.trace.add(label, start, end, "send", step)
+            if combine_coords > 0:
+                combine = self.cluster.compute.dense_op_seconds(
+                    combine_coords, node)
+                self.trace.add(label, end, end + combine, "aggregate", step)
+                end += combine
+            finish.append(end)
+        barrier = max(finish, default=start)
+        for i, end in enumerate(finish):
+            self._wait_fill(executor_label(i), end, barrier, step)
+        self._wait_fill(DRIVER_LABEL, start, barrier, step)
+        self.now = barrier
+        return barrier - start
+
+    def reduce_scatter_phase(self, model_size: int, step: int) -> float:
+        """MLlib* phase 1: route partitions to owners and average them."""
+        k = self.num_executors
+        combine = model_size / k * k  # owner sums k pieces of its partition
+        return self._all_to_all_phase(model_size, step, "send", combine)
+
+    def all_gather_phase(self, model_size: int, step: int) -> float:
+        """MLlib* phase 2: owners broadcast their averaged partition."""
+        return self._all_to_all_phase(model_size, step, "send", 0.0)

@@ -1,0 +1,68 @@
+"""The shuffle operator: programmable all-to-all block exchange.
+
+Spark's ``shuffle`` lets each map task route blocks to arbitrary reduce
+tasks.  MLlib* builds its AllReduce on exactly this primitive (Section
+IV-B2): Reduce-Scatter is a shuffle where executor ``r`` sends model
+partition ``i`` to executor ``i``; AllGather is a shuffle where executor
+``r`` sends its owned partition to everyone.
+
+:class:`ShuffleModel` prices one shuffle round.  All executors send and
+receive concurrently on their own links, so a round costs what the busiest
+endpoint pays: ``messages * (alpha + size/bandwidth)`` — contrast with the
+driver fan-in of :mod:`repro.engine.aggregation`, which serializes all ``k``
+transfers through one node.
+
+:func:`exchange` performs the actual data movement on real Python values so
+the numerical trainers and the tests can verify routing correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TypeVar
+
+from ..cluster import ClusterSpec
+
+__all__ = ["ShuffleModel", "exchange"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ShuffleModel:
+    """Cost model for balanced all-to-all shuffle rounds."""
+
+    def round_seconds(self, cluster: ClusterSpec, messages_per_node: int,
+                      values_per_message: float) -> float:
+        """Cost of one round where every executor sends ``messages_per_node``
+        messages of ``values_per_message`` coordinates.
+
+        Uplink serialization applies per node, but nodes proceed in
+        parallel, so the round costs one node's worth of transfers.
+        """
+        if messages_per_node < 0:
+            raise ValueError("messages_per_node must be non-negative")
+        net = cluster.network
+        return messages_per_node * net.transfer_seconds(values_per_message)
+
+
+def exchange(outboxes: list[dict[int, T]],
+             num_workers: int | None = None) -> list[list[T]]:
+    """Route messages: ``outboxes[src][dst] = payload`` -> inbox lists.
+
+    Returns ``inboxes`` where ``inboxes[dst]`` collects payloads addressed
+    to ``dst`` in ascending source order.  This is the data-plane of the
+    shuffle; cost accounting is separate (:class:`ShuffleModel`).
+    """
+    k = num_workers if num_workers is not None else len(outboxes)
+    if k < 1:
+        raise ValueError("need at least one worker")
+    inboxes: list[list[T]] = [[] for _ in range(k)]
+    for src, outbox in enumerate(outboxes):
+        for dst, payload in outbox.items():
+            if not 0 <= dst < k:
+                raise ValueError(
+                    f"worker {src} addressed message to {dst}, but only "
+                    f"{k} workers exist")
+            inboxes[dst].append(payload)
+    return inboxes

@@ -1,0 +1,26 @@
+"""GLM math substrate: losses, regularizers, objective, local solvers."""
+
+from .evaluation import BinaryMetrics, evaluate_binary, roc_auc
+from .lazy_update import ScaledVector
+from .local_solvers import (LocalStats, apply_update, gd_step, mgd_epoch,
+                            sample_batch, sgd_epoch)
+from .losses import (LOSSES, HingeLoss, LogisticLoss, Loss,
+                     SquaredHingeLoss, SquaredLoss, get_loss)
+from .model import GLMModel
+from .objective import Objective
+from .regularizers import (REGULARIZERS, L1Regularizer, L2Regularizer,
+                           NoRegularizer, Regularizer, get_regularizer)
+from .schedules import (ConstantLR, InvSqrtLR, InvTimeLR, LearningRate,
+                        get_schedule)
+
+__all__ = [
+    "Loss", "HingeLoss", "LogisticLoss", "SquaredHingeLoss", "SquaredLoss",
+    "get_loss", "LOSSES",
+    "BinaryMetrics", "evaluate_binary", "roc_auc",
+    "Regularizer", "NoRegularizer", "L1Regularizer", "L2Regularizer",
+    "get_regularizer", "REGULARIZERS",
+    "Objective", "GLMModel", "ScaledVector",
+    "LocalStats", "gd_step", "mgd_epoch", "sgd_epoch", "sample_batch",
+    "apply_update",
+    "LearningRate", "ConstantLR", "InvSqrtLR", "InvTimeLR", "get_schedule",
+]

@@ -1,0 +1,94 @@
+"""Binary-classification evaluation metrics.
+
+The paper evaluates training by objective value (the systems question),
+but a library users adopt also needs model-quality metrics.  All metrics
+take {-1, +1} labels; threshold-based metrics classify by the sign of the
+margin, and :func:`roc_auc` ranks by raw margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BinaryMetrics", "evaluate_binary", "roc_auc"]
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Confusion-matrix summary of one evaluation."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    auc: float
+    positives: int
+    negatives: int
+
+    def describe(self) -> str:
+        return (f"acc={self.accuracy:.3f} p={self.precision:.3f} "
+                f"r={self.recall:.3f} f1={self.f1:.3f} auc={self.auc:.3f}")
+
+
+def roc_auc(margins: np.ndarray, y: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) identity.
+
+    Ties in the margins contribute half, which matches the trapezoidal
+    ROC construction.  Returns 0.5 when either class is absent (no
+    ranking information).
+    """
+    margins = np.asarray(margins, dtype=np.float64)
+    y = np.asarray(y)
+    pos = margins[y > 0]
+    neg = margins[y < 0]
+    if pos.size == 0 or neg.size == 0:
+        return 0.5
+    # Rank-sum with midranks for ties.
+    combined = np.concatenate([pos, neg])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty_like(combined)
+    ranks[order] = np.arange(1, combined.size + 1, dtype=np.float64)
+    # Average ranks over tie groups.
+    sorted_vals = combined[order]
+    i = 0
+    while i < sorted_vals.size:
+        j = i
+        while j + 1 < sorted_vals.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            mid = 0.5 * (i + j) + 1.0
+            ranks[order[i:j + 1]] = mid
+        i = j + 1
+    rank_sum_pos = float(ranks[:pos.size].sum())
+    u = rank_sum_pos - pos.size * (pos.size + 1) / 2.0
+    return float(u / (pos.size * neg.size))
+
+
+def evaluate_binary(margins: np.ndarray, y: np.ndarray) -> BinaryMetrics:
+    """Full metric set from raw margins and {-1, +1} labels."""
+    margins = np.asarray(margins, dtype=np.float64)
+    y = np.asarray(y)
+    if margins.shape != y.shape:
+        raise ValueError("margins and labels must have the same shape")
+    labels = np.unique(y)
+    if not np.all(np.isin(labels, (-1.0, 1.0))):
+        raise ValueError("labels must be in {-1, +1}")
+
+    preds = np.where(margins >= 0, 1.0, -1.0)
+    tp = int(np.sum((preds > 0) & (y > 0)))
+    fp = int(np.sum((preds > 0) & (y < 0)))
+    fn = int(np.sum((preds < 0) & (y > 0)))
+    positives = int(np.sum(y > 0))
+    negatives = int(np.sum(y < 0))
+
+    accuracy = float(np.mean(preds == y))
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if (precision + recall) else 0.0)
+    return BinaryMetrics(accuracy=accuracy, precision=precision,
+                         recall=recall, f1=f1,
+                         auc=roc_auc(margins, y),
+                         positives=positives, negatives=negatives)

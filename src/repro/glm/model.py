@@ -1,0 +1,57 @@
+"""Trained GLM models: prediction and evaluation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .evaluation import BinaryMetrics, evaluate_binary
+from .objective import Objective
+
+__all__ = ["GLMModel"]
+
+
+@dataclass(frozen=True)
+class GLMModel:
+    """An immutable trained linear model.
+
+    ``weights`` is the dense coefficient vector; ``objective`` records what
+    the model was trained to minimize (used by :meth:`objective_value`).
+    """
+
+    weights: np.ndarray
+    objective: Objective
+
+    def __post_init__(self) -> None:
+        if self.weights.ndim != 1:
+            raise ValueError("weights must be a 1-D vector")
+
+    @property
+    def dim(self) -> int:
+        return int(self.weights.shape[0])
+
+    def decision_function(self, X: sp.csr_matrix) -> np.ndarray:
+        """Raw margins ``X @ w``."""
+        if X.shape[1] != self.dim:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model expects {self.dim}")
+        return np.asarray(X @ self.weights)
+
+    def predict(self, X: sp.csr_matrix) -> np.ndarray:
+        """Hard {-1, +1} predictions."""
+        margins = self.decision_function(X)
+        return np.where(margins >= 0, 1.0, -1.0)
+
+    def accuracy(self, X: sp.csr_matrix, y: np.ndarray) -> float:
+        """Fraction of correctly classified examples."""
+        return float(np.mean(self.predict(X) == y))
+
+    def objective_value(self, X: sp.csr_matrix, y: np.ndarray) -> float:
+        """f(w, X) under the training objective."""
+        return self.objective.value(self.weights, X, y)
+
+    def evaluate(self, X: sp.csr_matrix, y: np.ndarray) -> BinaryMetrics:
+        """Full metric set (accuracy/precision/recall/F1/AUC)."""
+        return evaluate_binary(self.decision_function(X), y)

@@ -1,0 +1,82 @@
+"""Convergence detection and speedup computation.
+
+The paper's rule (Section V-A, Metrics): "Speedup is calculated when the
+accuracy loss (compared to the optimum) is 0.01" — i.e. a system has
+converged once its objective is within 0.01 of the best objective any
+participating system reaches on that workload.  The dotted line in
+Figures 4 and 5 is that threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .history import HistoryPoint, TrainingHistory
+
+__all__ = ["ACCURACY_LOSS", "convergence_threshold", "ConvergenceResult",
+           "evaluate_convergence", "speedup"]
+
+#: The paper's accuracy-loss tolerance for declaring convergence.
+ACCURACY_LOSS = 0.01
+
+
+def convergence_threshold(histories: list[TrainingHistory],
+                          accuracy_loss: float = ACCURACY_LOSS) -> float:
+    """Optimum across all systems plus the tolerated loss."""
+    if not histories:
+        raise ValueError("need at least one history")
+    optimum = min(h.best_objective for h in histories)
+    return optimum + accuracy_loss
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Whether and when a system reached the threshold."""
+
+    system: str
+    converged: bool
+    steps: int | None
+    seconds: float | None
+    final_objective: float
+
+    @classmethod
+    def from_history(cls, history: TrainingHistory,
+                     threshold: float) -> "ConvergenceResult":
+        point: HistoryPoint | None = history.first_reaching(threshold)
+        if point is None:
+            return cls(system=history.system, converged=False, steps=None,
+                       seconds=None, final_objective=history.final_objective)
+        return cls(system=history.system, converged=True, steps=point.step,
+                   seconds=point.seconds,
+                   final_objective=history.final_objective)
+
+
+def evaluate_convergence(histories: list[TrainingHistory],
+                         accuracy_loss: float = ACCURACY_LOSS,
+                         ) -> dict[str, ConvergenceResult]:
+    """Per-system convergence against the shared threshold."""
+    threshold = convergence_threshold(histories, accuracy_loss)
+    return {h.system: ConvergenceResult.from_history(h, threshold)
+            for h in histories}
+
+
+def speedup(baseline: ConvergenceResult, improved: ConvergenceResult,
+            axis: str = "seconds") -> float | None:
+    """How much faster ``improved`` reached the threshold than ``baseline``.
+
+    ``axis`` is ``"seconds"`` (wall-clock speedup, right-hand plots of
+    Figure 4) or ``"steps"`` (communication-step speedup, left-hand plots).
+    Returns None when either system failed to converge (the url/kddb
+    unregularized cases where MLlib never reaches the threshold).
+    """
+    if axis not in ("seconds", "steps"):
+        raise ValueError("axis must be 'seconds' or 'steps'")
+    if not (baseline.converged and improved.converged):
+        return None
+    base = getattr(baseline, axis)
+    imp = getattr(improved, axis)
+    if imp == 0:
+        # Converged before the first communication step completed; treat
+        # the cost of that first step as the unit.
+        imp = 1 if axis == "steps" else 1e-9
+    return float(base) / float(imp)

@@ -1,0 +1,106 @@
+"""Training histories: the data behind every convergence figure.
+
+Each record pairs a *communication step* count with the *simulated* elapsed
+seconds and the (real, exactly computed) objective value at that point —
+the two x-axes the paper plots objective value against in Figures 4-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HistoryPoint", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class HistoryPoint:
+    """One measurement: after ``step`` communication steps, at simulated
+    time ``seconds``, the full-dataset objective was ``objective``."""
+
+    step: int
+    seconds: float
+    objective: float
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("step must be non-negative")
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+
+class TrainingHistory:
+    """Append-only sequence of :class:`HistoryPoint` with lookup helpers."""
+
+    def __init__(self, system: str, dataset: str = "",
+                 detail: str = "") -> None:
+        self.system = system
+        self.dataset = dataset
+        self.detail = detail
+        self._points: list[HistoryPoint] = []
+
+    # ------------------------------------------------------------------
+    def record(self, step: int, seconds: float, objective: float) -> None:
+        if self._points:
+            last = self._points[-1]
+            if step < last.step:
+                raise ValueError("steps must be non-decreasing")
+            if seconds < last.seconds - 1e-12:
+                raise ValueError("simulated time must be non-decreasing")
+        self._points.append(HistoryPoint(step, seconds, objective))
+
+    @property
+    def points(self) -> tuple[HistoryPoint, ...]:
+        return tuple(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    # ------------------------------------------------------------------
+    @property
+    def final_objective(self) -> float:
+        self._require_points()
+        return self._points[-1].objective
+
+    @property
+    def best_objective(self) -> float:
+        self._require_points()
+        return min(p.objective for p in self._points)
+
+    @property
+    def total_steps(self) -> int:
+        self._require_points()
+        return self._points[-1].step
+
+    @property
+    def total_seconds(self) -> float:
+        self._require_points()
+        return self._points[-1].seconds
+
+    def objectives(self) -> list[float]:
+        return [p.objective for p in self._points]
+
+    def steps(self) -> list[int]:
+        return [p.step for p in self._points]
+
+    def seconds(self) -> list[float]:
+        return [p.seconds for p in self._points]
+
+    # ------------------------------------------------------------------
+    def first_reaching(self, threshold: float) -> HistoryPoint | None:
+        """Earliest point with objective <= threshold, or None."""
+        for point in self._points:
+            if point.objective <= threshold:
+                return point
+        return None
+
+    def _require_points(self) -> None:
+        if not self._points:
+            raise ValueError("history is empty")
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        n = len(self._points)
+        tail = f", final={self.final_objective:.4f}" if n else ""
+        return f"TrainingHistory({self.system}/{self.dataset}, {n} points{tail})"

@@ -1,0 +1,123 @@
+"""ASCII line plots of convergence curves.
+
+The paper's Figures 4-6 are objective-vs-steps and objective-vs-time line
+charts; this module renders the same curves in a terminal.  Multiple
+histories share one canvas (one glyph per system), the x-axis can be
+linear or logarithmic (the paper's time axes are log-scale), and the
+optional threshold line mirrors the paper's dotted 0.01-accuracy-loss
+marker.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .history import TrainingHistory
+
+__all__ = ["render_curves", "CURVE_GLYPHS"]
+
+#: Glyphs assigned to systems in plotting order.
+CURVE_GLYPHS = "*o+x#@%&"
+
+
+def _x_value(point_x: float, log_x: bool) -> float | None:
+    if not log_x:
+        return point_x
+    if point_x <= 0:
+        return None
+    return math.log10(point_x)
+
+
+def render_curves(histories: list[TrainingHistory], x_axis: str = "steps",
+                  width: int = 72, height: int = 18, log_x: bool = False,
+                  threshold: float | None = None) -> str:
+    """Render objective curves for several systems on one canvas.
+
+    Parameters
+    ----------
+    histories:
+        One curve per history; the legend uses ``history.system``.
+    x_axis:
+        ``"steps"`` (communication steps, the paper's left plots) or
+        ``"seconds"`` (simulated time, the right plots).
+    log_x:
+        Log-scale the x axis (points at x <= 0 are dropped), matching the
+        paper's time axes.
+    threshold:
+        Draw a horizontal marker row of ``-`` at this objective value
+        (the 0.01-accuracy-loss line).
+    """
+    if x_axis not in ("steps", "seconds"):
+        raise ValueError("x_axis must be 'steps' or 'seconds'")
+    if not histories:
+        raise ValueError("need at least one history")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    if len(histories) > len(CURVE_GLYPHS):
+        raise ValueError(
+            f"at most {len(CURVE_GLYPHS)} curves per plot")
+
+    series = []
+    for history in histories:
+        xs_raw = (history.steps() if x_axis == "steps"
+                  else history.seconds())
+        pairs = []
+        for x_raw, y in zip(xs_raw, history.objectives()):
+            x = _x_value(float(x_raw), log_x)
+            if x is not None and math.isfinite(y):
+                pairs.append((x, y))
+        series.append(pairs)
+
+    points = [p for pairs in series for p in pairs]
+    if not points:
+        return "(no plottable points)"
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_values = [p[1] for p in points]
+    if threshold is not None:
+        y_values.append(threshold)
+    y_lo, y_hi = min(y_values), max(y_values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y_hi - y) / y_span * (height - 1))
+        return row, col
+
+    if threshold is not None:
+        t_row, _ = cell(x_lo, threshold)
+        for col in range(width):
+            grid[t_row][col] = "-"
+
+    for pairs, glyph in zip(series, CURVE_GLYPHS):
+        for x, y in pairs:
+            row, col = cell(x, y)
+            grid[row][col] = glyph
+
+    y_labels = [f"{y_hi:.3f}", f"{(y_hi + y_lo) / 2:.3f}", f"{y_lo:.3f}"]
+    label_width = max(len(l) for l in y_labels)
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_labels[0]
+        elif i == height // 2:
+            label = y_labels[1]
+        elif i == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}|")
+
+    axis_name = x_axis if not log_x else f"log10({x_axis})"
+    left = f"{x_lo:.3g}"
+    right = f"{x_hi:.3g}"
+    pad = width - len(left) - len(right)
+    lines.append(f"{'':>{label_width}}  {left}{' ' * max(1, pad)}{right}"
+                 f"  [{axis_name}]")
+    legend = "  ".join(f"{glyph}={h.system}"
+                       for h, glyph in zip(histories, CURVE_GLYPHS))
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)

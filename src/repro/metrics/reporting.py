@@ -1,0 +1,45 @@
+"""Plain-text result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_speedup"]
+
+
+def format_table(headers: list[str], rows: list[list[object]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with 4 significant digits; None renders as ``-``.
+    """
+    def fmt(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def format_speedup(value: float | None) -> str:
+    """Speedups print as ``12.3x``; non-convergence prints as ``n/c``."""
+    if value is None:
+        return "n/c"
+    return f"{value:.3g}x"

@@ -1,0 +1,7 @@
+"""Analytic cost advisor (the cost-optimizer direction of reference [11])."""
+
+from .advisor import (ADVISABLE_SYSTEMS, StepCost, WorkloadProfile,
+                      estimate_step_cost, rank_systems)
+
+__all__ = ["StepCost", "WorkloadProfile", "estimate_step_cost",
+           "rank_systems", "ADVISABLE_SYSTEMS"]

@@ -1,0 +1,93 @@
+"""Angel: SendModel over parameter servers, per-epoch.
+
+Section III-B2's two distinctions from Petuum, both reproduced:
+
+* **Communication frequency** — Angel workers talk to the servers once per
+  *epoch* (a full pass over the local partition), not once per batch.
+* **Local computation** — Angel always performs mini-batch gradient
+  descent on each batch (one update per batch), regardless of the
+  regularization term.
+
+Section V-B2 additionally attributes Angel's weakness at small batch sizes
+to an implementation detail: "Angel stores the accumulated gradients for
+each batch in a separate vector.  For each batch, we need to allocate
+memory for the vector and collect it back."  We model that as a per-batch
+overhead proportional to the model size (allocate + zero + garbage-collect
+one dense vector), controlled by ``alloc_overhead_coords_factor``; the
+Angel batch-size ablation bench sweeps it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import ClusterSpec, Trace
+from ..engine import PartitionedDataset
+from ..glm import Objective, mgd_epoch
+from ..core.config import TrainerConfig
+from ..core.trainer import DistributedTrainer
+from .consistency import BSP, Controller
+from .engine import PsEngine
+
+__all__ = ["AngelTrainer"]
+
+
+class AngelTrainer(DistributedTrainer):
+    """Angel: per-epoch communication, per-batch GD, averaging servers."""
+
+    system = "Angel"
+
+    #: Dense coordinates' worth of work charged per batch for gradient
+    #: buffer allocation + GC (Section V-B2's overhead).
+    alloc_overhead_coords_factor = 3.0
+
+    def __init__(self, objective: Objective, cluster: ClusterSpec,
+                 config: TrainerConfig | None = None,
+                 num_servers: int | None = None,
+                 controller: Controller | None = None) -> None:
+        super().__init__(objective, cluster, config)
+        self._num_servers = num_servers
+        self._controller = controller if controller is not None else BSP()
+        self._engine: PsEngine | None = None
+        self._rngs: list[np.random.Generator] = []
+
+    # ------------------------------------------------------------------
+    def _prepare(self, data: PartitionedDataset) -> None:
+        self._engine = PsEngine(self.cluster, num_servers=self._num_servers,
+                                controller=self._controller)
+        self._rngs = self._worker_rngs(data.num_partitions)
+
+    def _clock(self) -> float:
+        assert self._engine is not None, "fit() not started"
+        return self._engine.now
+
+    def _trace(self) -> Trace:
+        assert self._engine is not None, "fit() not started"
+        return self._engine.trace
+
+    # ------------------------------------------------------------------
+    def _run_step(self, step: int, w: np.ndarray,
+                  data: PartitionedDataset) -> np.ndarray:
+        engine = self._engine
+        assert engine is not None
+        m = data.n_features
+        lr = self.schedule.at(step)
+
+        locals_: list[np.ndarray] = []
+        durations: list[float] = []
+        overheads: list[float] = []
+        for i, part in enumerate(data.partitions):
+            batch = self._batch_size(part.n_rows)
+            local_w, stats = mgd_epoch(self.objective, w, part.X, part.y,
+                                       lr, batch, self._rngs[i])
+            locals_.append(local_w)
+            durations.append(self._compute_seconds(
+                stats.nnz_processed, stats.dense_ops, i))
+            # One gradient buffer allocated and collected per batch.
+            batches = stats.n_updates
+            overhead_coords = (batches * self.alloc_overhead_coords_factor
+                               * m)
+            overheads.append(self.cluster.compute.dense_op_seconds(
+                overhead_coords, self.cluster.executors[i]))
+        engine.run_step(durations, m, overhead_seconds=overheads)
+        return np.mean(locals_, axis=0)

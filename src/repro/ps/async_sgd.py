@@ -1,0 +1,166 @@
+"""Asynchronous SGD over parameter servers (ASP with real staleness).
+
+Section III-B: parameter servers "can leverage different consistency
+controllers ... It has been shown that asynchronous communication can be
+beneficial for distributed machine learning [13]."  The Petuum/Angel
+trainers in this reproduction model SSP's *timing* benefit but keep the
+numerics step-synchronous; :class:`AsyncSgdTrainer` models the numerics
+too, with a discrete-event simulation:
+
+* every worker repeatedly (pull -> compute batch gradient -> push);
+* pushes are applied to the global model **in simulated-time order**;
+* a worker's gradient was computed at the model it pulled one cycle ago,
+  so it is applied with real *staleness* — the number of other updates
+  that landed in between (tracked and reported).
+
+This is the Hogwild/Downpour-style regime the paper's reference [13]
+analyzes: no barriers at all, maximum hardware efficiency, gradient
+staleness as the price.  Heterogeneity makes fast workers contribute more
+updates instead of idling at a barrier — the async counterpoint to
+Figure 6's straggler problem.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..cluster import ClusterSpec, Trace
+from ..core.config import TrainerConfig
+from ..core.trainer import DistributedTrainer
+from ..engine import PartitionedDataset
+from ..glm import Objective, apply_update, sample_batch
+from .engine import worker_label
+
+__all__ = ["AsyncSgdTrainer"]
+
+
+class AsyncSgdTrainer(DistributedTrainer):
+    """Fully asynchronous SGD (ASP) with event-ordered updates.
+
+    One "communication step" in the history corresponds to ``k`` applied
+    pushes (one per worker on average), so step counts remain comparable
+    with the synchronous SendGradient systems.
+    """
+
+    system = "ASGD"
+
+    def __init__(self, objective: Objective, cluster: ClusterSpec,
+                 config: TrainerConfig | None = None,
+                 num_servers: int | None = None) -> None:
+        super().__init__(objective, cluster, config)
+        self._num_servers = (num_servers if num_servers is not None
+                             else cluster.num_executors)
+        self._trace_store = Trace()
+        self._now = 0.0
+        self._rngs: list[np.random.Generator] = []
+        #: (ready_time, tiebreak, worker_index) event heap.
+        self._events: list[tuple[float, int, int]] = []
+        self._tiebreak = 0
+        #: Per-worker model snapshot at its last pull.
+        self._pulled: list[np.ndarray] = []
+        #: Pending gradient each worker will push at its event time.
+        self._pending: list[np.ndarray | None] = []
+        #: Global-update counter and per-worker counter at last pull.
+        self._updates_applied = 0
+        self._pull_versions: list[int] = []
+        #: Observed staleness values (updates between pull and push).
+        self.staleness_log: list[int] = []
+        self._model: np.ndarray | None = None
+        self._step_counter = 0
+
+    # ------------------------------------------------------------------
+    def _comm_seconds(self, model_size: int) -> float:
+        """One pull + one push against the shards (no peer contention
+        modelled: asynchrony spreads requests over time)."""
+        net = self.cluster.network
+        payload = model_size * net.bytes_per_value / net.bandwidth
+        return 2.0 * (self._num_servers * net.alpha + payload)
+
+    def _schedule(self, worker: int, ready: float) -> None:
+        heapq.heappush(self._events, (ready, self._tiebreak, worker))
+        self._tiebreak += 1
+
+    def _begin_cycle(self, worker: int, start: float,
+                     data: PartitionedDataset) -> None:
+        """Worker pulls the model, computes a batch gradient, and is
+        scheduled to push when compute + communication finish."""
+        assert self._model is not None
+        part = data.partitions[worker]
+        batch = self._batch_size(part.n_rows)
+        Xb, yb = sample_batch(part.X, part.y, batch, self._rngs[worker])
+        self._pulled[worker] = np.array(self._model, copy=True)
+        self._pull_versions[worker] = self._updates_applied
+        self._pending[worker] = self.objective.batch_loss_gradient(
+            self._pulled[worker], Xb, yb)
+
+        node = self.cluster.executors[worker]
+        compute = (self._compute_seconds(2 * int(Xb.nnz), 0, worker)
+                   * self.cluster.slowdown(node, self._step_counter))
+        comm = self._comm_seconds(data.n_features)
+        label = worker_label(worker)
+        if compute > 0:
+            self._trace_store.add(label, start, start + compute, "compute",
+                            self._step_counter)
+        self._trace_store.add(label, start + compute, start + compute + comm,
+                        "send", self._step_counter)
+        self._schedule(worker, start + compute + comm)
+
+    # ------------------------------------------------------------------
+    def _prepare(self, data: PartitionedDataset) -> None:
+        self.cluster.reset_rng()
+        self._trace_store = Trace()
+        self._now = 0.0
+        self._rngs = self._worker_rngs(data.num_partitions)
+        self._events = []
+        self._tiebreak = 0
+        k = data.num_partitions
+        self._pulled = [np.zeros(data.n_features) for _ in range(k)]
+        self._pending = [None] * k
+        self._updates_applied = 0
+        self._pull_versions = [0] * k
+        self.staleness_log = []
+        self._model = None
+        self._step_counter = 0
+
+    def _on_initial_model(self, w: np.ndarray,
+                          data: PartitionedDataset) -> None:
+        """Seed the global model and launch every worker's first cycle."""
+        self._model = np.array(w, copy=True)
+        for worker in range(data.num_partitions):
+            self._begin_cycle(worker, 0.0, data)
+
+    def _clock(self) -> float:
+        return self._now
+
+    def _trace(self) -> Trace:
+        return self._trace_store
+
+    # ------------------------------------------------------------------
+    def _run_step(self, step: int, w: np.ndarray,
+                  data: PartitionedDataset) -> np.ndarray:
+        """Apply the next ``k`` pushes in simulated-time order."""
+        assert self._model is not None
+        self._step_counter = step
+        k = data.num_partitions
+        for _ in range(k):
+            ready, _, worker = heapq.heappop(self._events)
+            self._now = max(self._now, ready)
+            gradient = self._pending[worker]
+            assert gradient is not None
+            lr = self.schedule.at(self._updates_applied + 1)
+            self._model = apply_update(self._model, gradient, lr,
+                                       self.objective)
+            self._updates_applied += 1
+            self.staleness_log.append(
+                self._updates_applied - 1 - self._pull_versions[worker])
+            self._begin_cycle(worker, ready, data)
+        return self._model
+
+    @property
+    def mean_staleness(self) -> float:
+        """Average number of updates applied between pull and push."""
+        if not self.staleness_log:
+            return 0.0
+        return float(np.mean(self.staleness_log))

@@ -1,0 +1,128 @@
+"""Parameter-server execution timeline.
+
+:class:`PsEngine` plays the role :class:`~repro.engine.driver.BspEngine`
+plays for Spark-style systems: it advances simulated per-worker clocks,
+applies the consistency controller's admission rule, prices pull/push
+communication, and emits trace spans.
+
+Unlike BSP, workers do not share a single barrier: under SSP a fast worker
+may start its next step while a straggler is still finishing (bounded by
+the staleness), and under ASP it never waits.  The timestamp reported for a
+logical step — the moment the step's model state is fully at the servers —
+is the maximum finish time across workers for that step.
+
+Communication pricing per worker and step (pull the full model + push a
+full update): each of the ``s`` shards is contacted twice, and shard-side
+bandwidth serializes when workers outnumber shards::
+
+    comm = 2 * (s * alpha + (m * bytes / bandwidth) * max(1, k / s))
+
+With ``s = k`` (the common co-located deployment) this is close to the
+balanced all-to-all of AllReduce; with few shards it degrades toward the
+driver bottleneck — parameter servers generalize between the two.
+"""
+
+from __future__ import annotations
+
+from ..cluster import ClusterSpec, Trace
+from .consistency import BSP, Controller
+
+__all__ = ["PsEngine", "worker_label"]
+
+
+def worker_label(index: int) -> str:
+    """Human-readable label for PS worker ``index`` (0-based)."""
+    return f"worker-{index + 1}"
+
+
+class PsEngine:
+    """Simulated timeline for parameter-server training.
+
+    Parameters
+    ----------
+    cluster:
+        Worker nodes are the cluster's executors; the driver node is not
+        used (PS deployments have no Spark-style driver in the data path).
+    num_servers:
+        Model shards.  Defaults to one shard per worker.
+    controller:
+        Consistency controller (BSP / SSP / ASP).
+    """
+
+    def __init__(self, cluster: ClusterSpec, num_servers: int | None = None,
+                 controller: Controller | None = None) -> None:
+        if cluster.num_executors < 1:
+            raise ValueError("PS engine needs at least one worker")
+        self.cluster = cluster
+        self.num_workers = cluster.num_executors
+        self.num_servers = (num_servers if num_servers is not None
+                            else self.num_workers)
+        if self.num_servers < 1:
+            raise ValueError("need at least one server shard")
+        self.controller = controller if controller is not None else BSP()
+        self.trace = Trace()
+        #: finish_times[r][t] — when worker r finished logical step t.
+        self._finish_times: list[list[float]] = [
+            [] for _ in range(self.num_workers)]
+        self._steps_run = 0
+        self.now = 0.0
+        cluster.reset_rng()
+
+    # ------------------------------------------------------------------
+    def comm_seconds(self, model_size: int) -> float:
+        """Pull + push cost for one worker and one step (see module doc)."""
+        net = self.cluster.network
+        shard_contention = max(1.0, self.num_workers / self.num_servers)
+        payload = (model_size * net.bytes_per_value / net.bandwidth
+                   * shard_contention)
+        return 2.0 * (self.num_servers * net.alpha + payload)
+
+    def run_step(self, compute_seconds: list[float], model_size: int,
+                 overhead_seconds: list[float] | None = None) -> float:
+        """Advance every worker through one pull/compute/push step.
+
+        ``compute_seconds[r]`` is worker ``r``'s unperturbed local compute
+        time; ``overhead_seconds`` adds straggler-free per-worker overhead
+        (Angel's per-batch allocation cost).  Returns the simulated time at
+        which the step's global model is available.
+        """
+        if len(compute_seconds) != self.num_workers:
+            raise ValueError(
+                f"expected {self.num_workers} durations, "
+                f"got {len(compute_seconds)}")
+        overheads = (overhead_seconds if overhead_seconds is not None
+                     else [0.0] * self.num_workers)
+        if len(overheads) != self.num_workers:
+            raise ValueError("overhead list length mismatch")
+
+        t = self._steps_run
+        comm = self.comm_seconds(model_size)
+        finishes: list[float] = []
+        for r in range(self.num_workers):
+            own_ready = self._finish_times[r][-1] if self._finish_times[r] else 0.0
+            peers = [self._finish_times[p]
+                     for p in range(self.num_workers) if p != r]
+            start = self.controller.release_time(t, own_ready, peers)
+            label = worker_label(r)
+            if start > own_ready + 1e-12:
+                self.trace.add(label, own_ready, start, "wait", t)
+
+            node = self.cluster.executors[r]
+            if compute_seconds[r] < 0 or overheads[r] < 0:
+                raise ValueError("durations must be non-negative")
+            work = (compute_seconds[r] * self.cluster.slowdown(node, t)
+                    + overheads[r])
+            if work > 0:
+                self.trace.add(label, start, start + work, "compute", t)
+            push_start = start + work
+            if comm > 0:
+                self.trace.add(label, push_start, push_start + comm,
+                               "send", t)
+            finish = push_start + comm
+            self._finish_times[r].append(finish)
+            finishes.append(finish)
+
+        self._steps_run += 1
+        step_ready = max(finishes)
+        self.now = max(self.now, step_ready)
+        return step_ready

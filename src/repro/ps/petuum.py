@@ -1,0 +1,127 @@
+"""Petuum and Petuum*: SendModel over parameter servers, per-batch.
+
+Section III-B1's description, reproduced faithfully:
+
+* Workers communicate with the servers **per batch** (one batch = one
+  communication step).
+* With **no regularization**, workers run parallel SGD *inside* each batch
+  — many local updates per communication step.
+* With **nonzero regularization**, workers perform one gradient-descent
+  update over the batch per step — a single update per communication step
+  (dense L2 updates are expensive, so Petuum avoids per-example updates).
+* Original **Petuum** combines worker results by *model summation* (the
+  servers add up the pushed deltas), which "suffers from potential
+  divergence" (Section IV-B1 remark, refs [15], [18]).
+* **Petuum*** is the paper's fixed variant: summation replaced by model
+  averaging.  It also uses SSP to hide straggler latency (Section V-B2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import ClusterSpec, Trace
+from ..engine import PartitionedDataset
+from ..glm import LocalStats, Objective, gd_step, sample_batch, sgd_epoch
+from ..core.config import TrainerConfig
+from ..core.trainer import DistributedTrainer
+from .consistency import SSP, Controller
+from .engine import PsEngine
+from .server import ParameterServer
+
+__all__ = ["PetuumTrainer", "PetuumStarTrainer"]
+
+
+class PetuumTrainer(DistributedTrainer):
+    """Original Petuum: per-batch communication, model summation."""
+
+    system = "Petuum"
+    #: How the servers combine pushed worker results.
+    combine = "sum"
+
+    def __init__(self, objective: Objective, cluster: ClusterSpec,
+                 config: TrainerConfig | None = None,
+                 num_servers: int | None = None,
+                 controller: Controller | None = None) -> None:
+        super().__init__(objective, cluster, config)
+        self._num_servers = num_servers
+        self._controller = (controller if controller is not None
+                            else SSP(staleness=2))
+        self._engine: PsEngine | None = None
+        self._rngs: list[np.random.Generator] = []
+        self._server: ParameterServer | None = None
+
+    # ------------------------------------------------------------------
+    def _prepare(self, data: PartitionedDataset) -> None:
+        self._engine = PsEngine(self.cluster, num_servers=self._num_servers,
+                                controller=self._controller)
+        self._rngs = self._worker_rngs(data.num_partitions)
+        self._server = ParameterServer(
+            model_size=data.n_features,
+            num_servers=self._engine.num_servers)
+
+    def _on_initial_model(self, w: np.ndarray,
+                          data: PartitionedDataset) -> None:
+        self._server = ParameterServer(
+            model_size=data.n_features,
+            num_servers=self._engine.num_servers if self._engine else 1,
+            initial=w)
+
+    def _clock(self) -> float:
+        assert self._engine is not None, "fit() not started"
+        return self._engine.now
+
+    def _trace(self) -> Trace:
+        assert self._engine is not None, "fit() not started"
+        return self._engine.trace
+
+    # ------------------------------------------------------------------
+    def _local_batch_work(self, w: np.ndarray, part, lr: float,
+                          rng: np.random.Generator,
+                          ) -> tuple[np.ndarray, LocalStats]:
+        """One worker's computation for one batch (= one step)."""
+        batch = self._batch_size(part.n_rows)
+        Xb, yb = sample_batch(part.X, part.y, batch, rng)
+        if self.objective.is_regularized:
+            # One GD update over the batch (dense updates kept rare).
+            return gd_step(self.objective, w, Xb, yb, lr)
+        # Parallel SGD inside the batch: many updates per step.
+        return sgd_epoch(self.objective, w, Xb, yb, lr, rng,
+                         chunk_size=self.config.local_chunk_size,
+                         lazy=self.config.lazy_l2)
+
+    def _combine(self, w: np.ndarray,
+                 locals_: list[np.ndarray]) -> np.ndarray:
+        """Model summation via the server: every worker pushes its delta."""
+        for local in locals_:
+            self._server.push_sum(local - w)
+        return self._server.pull()
+
+    def _run_step(self, step: int, w: np.ndarray,
+                  data: PartitionedDataset) -> np.ndarray:
+        engine = self._engine
+        assert engine is not None
+        lr = self.schedule.at(step)
+        locals_: list[np.ndarray] = []
+        durations: list[float] = []
+        for i, part in enumerate(data.partitions):
+            local_w, stats = self._local_batch_work(w, part, lr,
+                                                    self._rngs[i])
+            locals_.append(local_w)
+            durations.append(self._compute_seconds(
+                stats.nnz_processed, stats.dense_ops, i))
+        engine.run_step(durations, data.n_features)
+        return self._combine(w, locals_)
+
+
+class PetuumStarTrainer(PetuumTrainer):
+    """Petuum*: summation replaced by model averaging (the paper's fix)."""
+
+    system = "Petuum*"
+    combine = "average"
+
+    def _combine(self, w: np.ndarray,
+                 locals_: list[np.ndarray]) -> np.ndarray:
+        for local in locals_:
+            self._server.push_for_average(local)
+        return self._server.apply_average()

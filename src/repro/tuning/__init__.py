@@ -1,0 +1,5 @@
+"""Hyperparameter tuning: the paper's grid-search methodology."""
+
+from .grid import GridPoint, GridSearch, expand_grid
+
+__all__ = ["GridSearch", "GridPoint", "expand_grid"]

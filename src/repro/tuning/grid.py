@@ -1,0 +1,124 @@
+"""Grid search over trainer hyperparameters.
+
+The paper's methodology (Section V-A): "For each system, we also tune the
+hyper-parameters by grid search for fair comparison.  Specifically, we
+tuned batch size, learning rate for Spark MLlib.  For Angel and Petuum, we
+tuned batch size, learning rate, as well as staleness."
+
+:class:`GridSearch` runs a trainer class over the cartesian product of a
+parameter grid and scores each configuration by time (or steps) to a
+target objective — the same time-to-threshold metric the evaluation uses.
+Configurations that never reach the target rank by their best objective
+instead, so the search is total even when nothing converges.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..cluster import ClusterSpec
+from ..core.config import TrainerConfig
+from ..core.trainer import DistributedTrainer, TrainResult
+from ..data import SparseDataset
+from ..glm import Objective
+
+__all__ = ["GridSearch", "GridPoint", "expand_grid"]
+
+
+def expand_grid(grid: dict[str, list]) -> list[dict]:
+    """Cartesian product of a parameter grid.
+
+    ``{"learning_rate": [0.1, 0.5], "batch_fraction": [0.01]}`` yields two
+    dicts.  Keys must be :class:`TrainerConfig` fields; values are lists
+    of candidates.  An empty grid yields one empty configuration.
+    """
+    if not grid:
+        return [{}]
+    bad = [k for k, v in grid.items() if not isinstance(v, list) or not v]
+    if bad:
+        raise ValueError(f"grid values must be non-empty lists; bad: {bad}")
+    keys = list(grid)
+    return [dict(zip(keys, combo))
+            for combo in itertools.product(*(grid[k] for k in keys))]
+
+
+@dataclass
+class GridPoint:
+    """One evaluated configuration."""
+
+    params: dict
+    result: TrainResult
+    seconds_to_target: float | None
+    steps_to_target: int | None
+
+    @property
+    def converged(self) -> bool:
+        return self.seconds_to_target is not None
+
+    @property
+    def best_objective(self) -> float:
+        return self.result.history.best_objective
+
+    def sort_key(self) -> tuple:
+        """Converged configs first (by time), then by best objective."""
+        if self.converged:
+            return (0, self.seconds_to_target)
+        return (1, self.best_objective)
+
+
+@dataclass
+class GridSearch:
+    """Exhaustive hyperparameter search for one trainer class.
+
+    Parameters
+    ----------
+    trainer_cls:
+        Any :class:`~repro.core.trainer.DistributedTrainer` subclass.
+    objective, cluster:
+        Passed through to each trainer instance.
+    base_config:
+        Defaults for fields the grid does not sweep.
+    target:
+        Objective value that counts as converged; when None, the target is
+        the best objective seen across the whole grid plus ``tolerance``
+        (the paper's 0.01-accuracy-loss rule applied within the search).
+    tolerance:
+        Accuracy-loss tolerance used when ``target`` is None.
+    """
+
+    trainer_cls: type[DistributedTrainer]
+    objective: Objective
+    cluster: ClusterSpec
+    base_config: TrainerConfig = field(default_factory=TrainerConfig)
+    target: float | None = None
+    tolerance: float = 0.01
+
+    def run(self, dataset: SparseDataset,
+            grid: dict[str, list]) -> list[GridPoint]:
+        """Evaluate the full grid; returns points sorted best-first."""
+        points: list[GridPoint] = []
+        for params in expand_grid(grid):
+            config = self.base_config.with_overrides(**params)
+            trainer = self.trainer_cls(self.objective, self.cluster, config)
+            result = trainer.fit(dataset)
+            points.append(GridPoint(params=params, result=result,
+                                    seconds_to_target=None,
+                                    steps_to_target=None))
+
+        target = self.target
+        if target is None:
+            target = (min(p.best_objective for p in points)
+                      + self.tolerance)
+        for point in points:
+            hit = point.result.history.first_reaching(target)
+            if hit is not None:
+                point.seconds_to_target = hit.seconds
+                point.steps_to_target = hit.step
+        points.sort(key=GridPoint.sort_key)
+        return points
+
+    def best(self, dataset: SparseDataset,
+             grid: dict[str, list]) -> GridPoint:
+        """Convenience: the single best configuration."""
+        return self.run(dataset, grid)[0]

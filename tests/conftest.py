@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, cluster1
+from repro.data import SparseDataset, SyntheticSpec, generate
+from repro.glm import Objective
+
+
+@pytest.fixture
+def tiny_dataset() -> SparseDataset:
+    """800 x 64 separable-ish dataset; fast enough for trainer tests."""
+    return generate(SyntheticSpec(n_rows=800, n_features=64,
+                                  nnz_per_row=8.0, noise=0.02, seed=7),
+                    name="tiny")
+
+
+@pytest.fixture
+def small_dataset() -> SparseDataset:
+    """2,000 x 200 dataset for integration-level checks."""
+    return generate(SyntheticSpec(n_rows=2000, n_features=200,
+                                  nnz_per_row=12.0, noise=0.03, seed=11),
+                    name="small")
+
+
+@pytest.fixture
+def underdetermined_dataset() -> SparseDataset:
+    """More features than rows (url/kddb style)."""
+    return generate(SyntheticSpec(n_rows=300, n_features=600,
+                                  nnz_per_row=20.0, noise=0.01, seed=13),
+                    name="under")
+
+
+@pytest.fixture
+def cluster() -> ClusterSpec:
+    """The paper's Cluster 1 (1 driver + 8 executors)."""
+    return cluster1()
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    """Four executors; cheaper for exhaustive trainer tests."""
+    return cluster1(executors=4)
+
+
+@pytest.fixture
+def hinge_objective() -> Objective:
+    return Objective("hinge")
+
+
+@pytest.fixture
+def hinge_l2_objective() -> Objective:
+    return Objective("hinge", "l2", 0.1)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

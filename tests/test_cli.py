@@ -1,0 +1,121 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import SYSTEMS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.system == "MLlib*"
+        assert args.dataset == "avazu"
+        assert args.l2 == 0.0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--system", "Ray"])
+
+    def test_all_systems_registered(self):
+        assert set(SYSTEMS) == {"MLlib", "MLlib+MA", "MLlib*", "Petuum",
+                                "Petuum*", "Angel", "ASGD", "spark.ml",
+                                "spark.ml*"}
+
+
+class TestDatasetsCommand:
+    def test_lists_catalog(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("avazu", "url", "kddb", "kdd12", "WX"):
+            assert name in out
+
+
+class TestTrainCommand:
+    def test_trains_and_prints_curve(self, capsys):
+        code = main(["train", "--system", "MLlib*", "--dataset", "url",
+                     "--steps", "3", "--eval-every", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MLlib* on url" in out
+        assert "training accuracy" in out
+
+    def test_export_csv_and_json(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        code = main(["train", "--system", "MLlib*", "--dataset", "url",
+                     "--steps", "2", "--export-csv", str(csv_path),
+                     "--export-json", str(json_path)])
+        assert code == 0
+        assert csv_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload[0]["system"] == "MLlib*"
+        assert len(payload[0]["objectives"]) == 3  # step 0 + 2 steps
+
+    def test_libsvm_path_input(self, tmp_path, capsys):
+        from repro.data import SyntheticSpec, generate, write_libsvm
+        ds = generate(SyntheticSpec(n_rows=60, n_features=20, seed=2),
+                      "file-ds")
+        path = tmp_path / "data.libsvm"
+        write_libsvm(ds, path)
+        code = main(["train", "--dataset", str(path), "--steps", "2",
+                     "--executors", "4"])
+        assert code == 0
+
+
+class TestCompareCommand:
+    def test_compares_two_systems(self, capsys):
+        code = main(["compare", "--dataset", "url", "--steps", "5",
+                     "--systems", "MLlib,MLlib*", "--eval-every", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MLlib*" in out
+        assert "speedup vs MLlib" in out
+
+    def test_unknown_system_in_list(self, capsys):
+        code = main(["compare", "--systems", "MLlib,Nope"])
+        assert code == 2
+        assert "unknown systems" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def test_decomposes_costs(self, capsys):
+        assert main(["plan", "--dataset", "kddb"]) == 0
+        out = capsys.readouterr().out
+        assert "driver ms" in out
+        assert "MLlib*" in out
+
+    def test_cheapest_first(self, capsys):
+        main(["plan", "--dataset", "kdd12", "--executors", "16"])
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines()
+                 if l and l.split()[0] in ("MLlib", "MLlib*", "MLlib+MA",
+                                           "Petuum*", "Angel")]
+        totals = [float(l.split()[-1]) for l in lines]
+        assert totals == sorted(totals)
+
+
+class TestTuneCommand:
+    def test_runs_grid(self, capsys):
+        code = main(["tune", "--dataset", "url", "--system", "MLlib*",
+                     "--steps", "3", "--learning-rates", "0.1,0.3",
+                     "--chunk-sizes", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "grid search" in out
+        assert "best:" in out
+
+
+class TestGanttCommand:
+    def test_renders_chart(self, capsys):
+        code = main(["gantt", "--system", "MLlib", "--dataset", "url",
+                     "--steps", "2", "--executors", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "driver" in out
+        assert "makespan" in out

@@ -1,0 +1,75 @@
+"""Unit tests for repro.cluster.cluster (ClusterSpec and presets)."""
+
+import pytest
+
+from repro.cluster import (ClusterSpec, LogNormalStragglers, NoStragglers,
+                           cluster1, cluster2, homogeneous_nodes)
+
+
+class TestClusterSpec:
+    def test_driver_and_executors(self):
+        spec = ClusterSpec(nodes=homogeneous_nodes(5))
+        assert spec.driver.node_id == 0
+        assert [n.node_id for n in spec.executors] == [1, 2, 3, 4]
+        assert spec.num_executors == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=[])
+
+    def test_rejects_duplicate_ids(self):
+        nodes = homogeneous_nodes(3)
+        with pytest.raises(ValueError, match="unique"):
+            ClusterSpec(nodes=[nodes[0], nodes[0], nodes[1]])
+
+    def test_slowdown_reproducible_after_reset(self):
+        spec = ClusterSpec(nodes=homogeneous_nodes(3),
+                           stragglers=LogNormalStragglers(sigma=0.4), seed=5)
+        first = [spec.slowdown(spec.executors[0], t) for t in range(10)]
+        spec.reset_rng()
+        second = [spec.slowdown(spec.executors[0], t) for t in range(10)]
+        assert first == second
+
+
+class TestCluster1:
+    def test_shape(self):
+        spec = cluster1()
+        assert spec.num_executors == 8
+        assert len(spec.nodes) == 9
+
+    def test_homogeneous(self):
+        spec = cluster1()
+        assert len({n.speed for n in spec.nodes}) == 1
+        assert isinstance(spec.stragglers, NoStragglers)
+
+    def test_one_gbps(self):
+        assert cluster1().network.bandwidth == pytest.approx(1e9 / 8)
+
+    def test_custom_executor_count(self):
+        assert cluster1(executors=4).num_executors == 4
+
+
+class TestCluster2:
+    def test_shape(self):
+        spec = cluster2(machines=32)
+        assert spec.num_executors == 32
+
+    def test_heterogeneous_speeds(self):
+        spec = cluster2(machines=32)
+        speeds = {n.speed for n in spec.nodes}
+        assert len(speeds) > 1
+
+    def test_has_stragglers(self):
+        assert isinstance(cluster2(8).stragglers, LogNormalStragglers)
+
+    def test_ten_gbps(self):
+        assert cluster2(8).network.bandwidth == pytest.approx(10e9 / 8)
+
+    def test_deterministic_given_seed(self):
+        a = cluster2(16, seed=3)
+        b = cluster2(16, seed=3)
+        assert [n.speed for n in a.nodes] == [n.speed for n in b.nodes]
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ValueError):
+            cluster2(0)

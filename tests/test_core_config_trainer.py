@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.config and the trainer template."""
+
+import numpy as np
+import pytest
+
+from repro.core import (MLlibStarTrainer, MLlibTrainer, TrainerConfig,
+                        TrainResult)
+from repro.glm import Objective
+
+
+class TestTrainerConfig:
+    def test_defaults_valid(self):
+        TrainerConfig()
+
+    @pytest.mark.parametrize("field,value", [
+        ("learning_rate", 0.0),
+        ("batch_fraction", 0.0),
+        ("batch_fraction", 1.5),
+        ("local_epochs", 0),
+        ("local_chunk_size", 0),
+        ("max_steps", 0),
+        ("eval_every", 0),
+        ("divergence_limit", 0.0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            TrainerConfig(**{field: value})
+
+    def test_with_overrides(self):
+        base = TrainerConfig(max_steps=10)
+        other = base.with_overrides(max_steps=20, learning_rate=0.5)
+        assert other.max_steps == 20
+        assert other.learning_rate == 0.5
+        assert base.max_steps == 10  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TrainerConfig().max_steps = 5
+
+
+class TestFitLoop:
+    def test_history_starts_at_step_zero(self, tiny_dataset, small_cluster):
+        trainer = MLlibStarTrainer(Objective("hinge"), small_cluster,
+                                   TrainerConfig(max_steps=3))
+        result = trainer.fit(tiny_dataset)
+        assert result.history.points[0].step == 0
+        assert result.history.points[0].seconds == 0.0
+
+    def test_history_lengths(self, tiny_dataset, small_cluster):
+        trainer = MLlibStarTrainer(Objective("hinge"), small_cluster,
+                                   TrainerConfig(max_steps=5))
+        result = trainer.fit(tiny_dataset)
+        assert len(result.history) == 6  # step 0 + 5 steps
+
+    def test_eval_every_thins_history(self, tiny_dataset, small_cluster):
+        trainer = MLlibTrainer(Objective("hinge"), small_cluster,
+                               TrainerConfig(max_steps=10, eval_every=5))
+        result = trainer.fit(tiny_dataset)
+        assert [p.step for p in result.history] == [0, 5, 10]
+
+    def test_final_step_always_evaluated(self, tiny_dataset, small_cluster):
+        trainer = MLlibTrainer(Objective("hinge"), small_cluster,
+                               TrainerConfig(max_steps=7, eval_every=5))
+        result = trainer.fit(tiny_dataset)
+        assert result.history.points[-1].step == 7
+
+    def test_early_stop_on_threshold(self, tiny_dataset, small_cluster):
+        trainer = MLlibStarTrainer(
+            Objective("hinge"), small_cluster,
+            TrainerConfig(max_steps=50, stop_threshold=0.9))
+        result = trainer.fit(tiny_dataset)
+        assert result.converged
+        assert result.history.total_steps < 50
+
+    def test_simulated_time_monotone(self, tiny_dataset, small_cluster):
+        trainer = MLlibStarTrainer(Objective("hinge"), small_cluster,
+                                   TrainerConfig(max_steps=5))
+        secs = trainer.fit(tiny_dataset).history.seconds()
+        assert secs == sorted(secs)
+        assert secs[-1] > 0
+
+    def test_deterministic_given_seed(self, tiny_dataset, small_cluster):
+        def run():
+            trainer = MLlibStarTrainer(Objective("hinge"), small_cluster,
+                                       TrainerConfig(max_steps=4, seed=3))
+            return trainer.fit(tiny_dataset)
+        a, b = run(), run()
+        assert np.array_equal(a.model.weights, b.model.weights)
+        assert a.history.objectives() == b.history.objectives()
+        assert a.history.seconds() == b.history.seconds()
+
+    def test_result_fields(self, tiny_dataset, small_cluster):
+        trainer = MLlibStarTrainer(Objective("hinge"), small_cluster,
+                                   TrainerConfig(max_steps=2))
+        result = trainer.fit(tiny_dataset)
+        assert isinstance(result, TrainResult)
+        assert result.model.dim == tiny_dataset.n_features
+        assert len(result.trace) > 0
+        assert not result.diverged
+        assert result.final_objective == result.history.final_objective

@@ -1,0 +1,90 @@
+"""Unit tests for repro.data.catalog (Table I analogs)."""
+
+import pytest
+
+from repro.data.catalog import (CATALOG, PAPER_TABLE1, dataset_names, load)
+
+
+class TestCatalogStructure:
+    def test_five_datasets_in_order(self):
+        assert dataset_names() == ["avazu", "url", "kddb", "kdd12", "WX"]
+
+    def test_paper_stats_verbatim(self):
+        assert PAPER_TABLE1["kdd12"] == (149_639_105, 54_686_452, 21.0)
+        assert PAPER_TABLE1["WX"][2] == 434.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("netflix")
+
+
+class TestConditioningPreserved:
+    """The trait Figures 4-5 hinge on: determined vs underdetermined."""
+
+    @pytest.mark.parametrize("name", ["avazu", "kdd12", "WX"])
+    def test_determined(self, name):
+        card = CATALOG[name]
+        assert card.spec.n_rows > card.spec.n_features
+        assert not card.is_underdetermined
+        # Matches the paper-scale dataset's character.
+        assert card.paper_instances > card.paper_features
+
+    @pytest.mark.parametrize("name", ["url", "kddb"])
+    def test_underdetermined(self, name):
+        card = CATALOG[name]
+        assert card.spec.n_features > card.spec.n_rows
+        assert card.is_underdetermined
+        assert card.paper_features > card.paper_instances
+
+
+class TestModelSizeRatios:
+    def test_kdd12_model_much_larger_than_avazu(self):
+        """Paper: kdd12's model is ~54x avazu's; analogs keep the order."""
+        ratio = (CATALOG["kdd12"].spec.n_features
+                 / CATALOG["avazu"].spec.n_features)
+        assert ratio >= 30
+
+    def test_wx_close_to_kdd12(self):
+        ratio = (CATALOG["WX"].spec.n_features
+                 / CATALOG["kdd12"].spec.n_features)
+        assert 0.5 < ratio < 2.0
+
+
+class TestBuiltDatasets:
+    @pytest.mark.parametrize("name", ["avazu", "url"])
+    def test_build_matches_spec(self, name):
+        ds = load(name)
+        card = CATALOG[name]
+        assert ds.name == name
+        assert ds.n_rows == card.spec.n_rows
+        assert ds.n_features == card.spec.n_features
+        assert ds.scale_bytes == pytest.approx(card.paper_size_gb * 1e9)
+
+    def test_deterministic(self):
+        a, b = load("url"), load("url")
+        assert (a.X != b.X).nnz == 0
+
+
+class TestRowScale:
+    def test_scales_rows_not_features(self):
+        ds = load("avazu", row_scale=0.1)
+        assert ds.n_rows == 4000
+        assert ds.n_features == 1000
+
+    def test_scale_up(self):
+        ds = load("url", row_scale=1.2)
+        assert ds.n_rows == 2880
+
+    def test_conditioning_guard(self):
+        # Growing url's rows past its feature count would flip it to
+        # determined — the guard must refuse.
+        with pytest.raises(ValueError, match="conditioning"):
+            load("url", row_scale=2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            load("avazu", row_scale=0.0)
+
+    def test_default_is_identity(self):
+        a, b = load("avazu"), load("avazu", row_scale=1.0)
+        assert (a.X != b.X).nnz == 0

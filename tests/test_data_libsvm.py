@@ -1,0 +1,74 @@
+"""Unit tests for repro.data.libsvm (LIBSVM IO round-trip)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticSpec, generate, read_libsvm, write_libsvm
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_data(self, tmp_path):
+        ds = generate(SyntheticSpec(n_rows=100, n_features=40, seed=3),
+                      name="rt")
+        path = tmp_path / "rt.libsvm"
+        write_libsvm(ds, path)
+        back = read_libsvm(path, n_features=40)
+        assert back.n_rows == ds.n_rows
+        assert back.n_features == 40
+        assert np.array_equal(back.y, ds.y)
+        assert np.allclose((back.X - ds.X).toarray(), 0.0, atol=1e-5)
+
+    def test_read_infers_width(self, tmp_path):
+        path = tmp_path / "a.libsvm"
+        path.write_text("+1 1:1.0 7:2.0\n-1 3:0.5\n")
+        ds = read_libsvm(path)
+        assert ds.n_features == 7
+        assert ds.n_rows == 2
+
+
+class TestParsing:
+    def test_zero_one_labels_normalized(self, tmp_path):
+        path = tmp_path / "z.libsvm"
+        path.write_text("1 1:1\n0 2:1\n")
+        ds = read_libsvm(path)
+        assert list(ds.y) == [1.0, -1.0]
+
+    def test_skips_blank_and_comment_lines(self, tmp_path):
+        path = tmp_path / "c.libsvm"
+        path.write_text("# header\n\n+1 1:1\n")
+        assert read_libsvm(path).n_rows == 1
+
+    def test_malformed_feature_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.libsvm"
+        path.write_text("+1 1:1\n-1 notafeature\n")
+        with pytest.raises(ValueError, match="bad.libsvm:2"):
+            read_libsvm(path)
+
+    def test_zero_index_rejected(self, tmp_path):
+        path = tmp_path / "zero.libsvm"
+        path.write_text("+1 0:1.0\n")
+        with pytest.raises(ValueError, match=">= 1"):
+            read_libsvm(path)
+
+    def test_index_beyond_forced_width_rejected(self, tmp_path):
+        path = tmp_path / "wide.libsvm"
+        path.write_text("+1 10:1.0\n")
+        with pytest.raises(ValueError, match="exceeds"):
+            read_libsvm(path, n_features=5)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.libsvm"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="no examples"):
+            read_libsvm(path)
+
+    def test_uninterpretable_label_rejected(self, tmp_path):
+        path = tmp_path / "lab.libsvm"
+        path.write_text("3 1:1.0\n")
+        with pytest.raises(ValueError, match="label"):
+            read_libsvm(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mydata.libsvm"
+        path.write_text("+1 1:1\n")
+        assert read_libsvm(path).name == "mydata"

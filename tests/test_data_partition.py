@@ -1,0 +1,64 @@
+"""Unit tests for repro.data.partition."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticSpec, generate, partition_rows
+
+
+@pytest.fixture
+def ds():
+    return generate(SyntheticSpec(n_rows=103, n_features=20, seed=5))
+
+
+class TestPartitionRows:
+    @pytest.mark.parametrize("strategy", ["contiguous", "round_robin",
+                                          "random"])
+    def test_covers_all_rows(self, ds, strategy):
+        parts = partition_rows(ds, 4, strategy=strategy)
+        assert sum(p.n_rows for p in parts) == ds.n_rows
+        total_nnz = sum(p.nnz for p in parts)
+        assert total_nnz == ds.nnz
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "round_robin",
+                                          "random"])
+    def test_balanced(self, ds, strategy):
+        parts = partition_rows(ds, 4, strategy=strategy)
+        sizes = [p.n_rows for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_indices_sequential(self, ds):
+        parts = partition_rows(ds, 3)
+        assert [p.index for p in parts] == [0, 1, 2]
+
+    def test_contiguous_preserves_order(self, ds):
+        parts = partition_rows(ds, 2, strategy="contiguous")
+        first_half = ds.X[:parts[0].n_rows]
+        assert (parts[0].X != first_half).nnz == 0
+
+    def test_random_deterministic_by_seed(self, ds):
+        a = partition_rows(ds, 4, strategy="random", seed=1)
+        b = partition_rows(ds, 4, strategy="random", seed=1)
+        for pa, pb in zip(a, b):
+            assert np.array_equal(pa.y, pb.y)
+
+    def test_random_seed_changes_split(self, ds):
+        a = partition_rows(ds, 4, strategy="random", seed=1)
+        b = partition_rows(ds, 4, strategy="random", seed=2)
+        assert any(not np.array_equal(pa.y, pb.y) for pa, pb in zip(a, b))
+
+    def test_single_partition_is_whole_dataset(self, ds):
+        parts = partition_rows(ds, 1)
+        assert parts[0].n_rows == ds.n_rows
+
+    def test_rejects_zero_partitions(self, ds):
+        with pytest.raises(ValueError):
+            partition_rows(ds, 0)
+
+    def test_rejects_more_partitions_than_rows(self, ds):
+        with pytest.raises(ValueError):
+            partition_rows(ds, ds.n_rows + 1)
+
+    def test_unknown_strategy(self, ds):
+        with pytest.raises(ValueError, match="strategy"):
+            partition_rows(ds, 2, strategy="zigzag")

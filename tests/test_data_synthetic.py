@@ -1,0 +1,103 @@
+"""Unit tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SparseDataset, SyntheticSpec, generate
+
+
+class TestSyntheticSpec:
+    def test_underdetermined_flag(self):
+        assert SyntheticSpec(n_rows=10, n_features=100).is_underdetermined
+        assert not SyntheticSpec(n_rows=100, n_features=10).is_underdetermined
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=0, n_features=10)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=10, n_features=10, noise=0.6)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=10, n_features=10, nnz_per_row=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=10, n_features=10, separator_density=0)
+
+
+class TestGenerate:
+    def test_shape(self):
+        ds = generate(SyntheticSpec(n_rows=500, n_features=50, seed=1))
+        assert ds.n_rows == 500
+        assert ds.n_features == 50
+        assert ds.X.shape == (500, 50)
+        assert ds.y.shape == (500,)
+
+    def test_labels_are_pm_one(self):
+        ds = generate(SyntheticSpec(n_rows=300, n_features=40, seed=2))
+        assert set(np.unique(ds.y)) <= {-1.0, 1.0}
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(n_rows=200, n_features=30, seed=9)
+        a, b = generate(spec), generate(spec)
+        assert (a.X != b.X).nnz == 0
+        assert np.array_equal(a.y, b.y)
+
+    def test_seed_changes_data(self):
+        a = generate(SyntheticSpec(n_rows=200, n_features=30, seed=1))
+        b = generate(SyntheticSpec(n_rows=200, n_features=30, seed=2))
+        assert (a.X != b.X).nnz > 0
+
+    def test_every_row_nonempty(self):
+        ds = generate(SyntheticSpec(n_rows=400, n_features=60,
+                                    nnz_per_row=3.0, seed=3))
+        row_nnz = np.diff(ds.X.indptr)
+        assert row_nnz.min() >= 1
+
+    def test_nnz_per_row_roughly_matches(self):
+        ds = generate(SyntheticSpec(n_rows=2000, n_features=5000,
+                                    nnz_per_row=20.0, feature_skew=0.0,
+                                    seed=4))
+        mean_nnz = ds.nnz / ds.n_rows
+        # Duplicate column draws merge, so observed nnz can dip slightly.
+        assert 15.0 <= mean_nnz <= 21.0
+
+    def test_feature_skew_concentrates_mass(self):
+        flat = generate(SyntheticSpec(n_rows=2000, n_features=500,
+                                      feature_skew=0.0, seed=5))
+        skewed = generate(SyntheticSpec(n_rows=2000, n_features=500,
+                                        feature_skew=1.5, seed=5))
+        def top_share(ds):
+            counts = np.bincount(ds.X.tocoo().col, minlength=500)
+            counts = np.sort(counts)[::-1]
+            return counts[:10].sum() / counts.sum()
+        assert top_share(skewed) > 2 * top_share(flat)
+
+    def test_separable_without_noise(self):
+        """Zero noise => labels come exactly from a linear separator."""
+        ds = generate(SyntheticSpec(n_rows=300, n_features=50, noise=0.0,
+                                    seed=6))
+        # We don't know w*, but the least-squares fit of y on X should
+        # classify the vast majority of points if labels are truly linear.
+        import scipy.sparse.linalg as spla
+        w = spla.lsqr(ds.X, ds.y)[0]
+        preds = np.where(ds.X @ w >= 0, 1.0, -1.0)
+        assert np.mean(preds == ds.y) > 0.9
+
+    def test_describe(self):
+        ds = generate(SyntheticSpec(n_rows=100, n_features=20, seed=7))
+        stats = ds.describe()
+        assert stats["instances"] == 100
+        assert stats["features"] == 20
+        assert 0 < stats["positive_fraction"] < 1
+
+
+class TestSparseDatasetValidation:
+    def test_rejects_row_mismatch(self):
+        ds = generate(SyntheticSpec(n_rows=50, n_features=10, seed=1))
+        with pytest.raises(ValueError):
+            SparseDataset(name="bad", X=ds.X, y=ds.y[:-1])
+
+    def test_rejects_bad_labels(self):
+        ds = generate(SyntheticSpec(n_rows=50, n_features=10, seed=1))
+        y = ds.y.copy()
+        y[0] = 0.5
+        with pytest.raises(ValueError, match="labels"):
+            SparseDataset(name="bad", X=ds.X, y=y)

@@ -1,0 +1,161 @@
+"""Tests for the mini-RDD layer (lazy dataflow + lineage recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import cluster1
+from repro.engine import RddContext
+
+
+@pytest.fixture
+def ctx():
+    return RddContext(cluster1(executors=4))
+
+
+class TestParallelizeAndActions:
+    def test_collect_round_trip(self, ctx):
+        rdd = ctx.parallelize(range(10))
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(103)).count() == 103
+
+    def test_partition_cap(self, ctx):
+        with pytest.raises(ValueError, match="exceed"):
+            ctx.parallelize(range(10), num_partitions=9)
+
+    def test_reduce(self, ctx):
+        total = ctx.parallelize(range(1, 11)).reduce(lambda a, b: a + b)
+        assert total == 55
+
+    def test_reduce_empty(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([]).reduce(lambda a, b: a + b)
+
+
+class TestTransformations:
+    def test_map(self, ctx):
+        rdd = ctx.parallelize(range(6)).map(lambda x: x * x)
+        assert sorted(rdd.collect()) == [0, 1, 4, 9, 16, 25]
+
+    def test_filter(self, ctx):
+        rdd = ctx.parallelize(range(10)).filter(lambda x: x % 2 == 0)
+        assert rdd.count() == 5
+
+    def test_map_partitions(self, ctx):
+        rdd = ctx.parallelize(range(8)).map_partitions(
+            lambda rows: [sum(rows)])
+        parts = rdd.collect()
+        assert len(parts) == 4
+        assert sum(parts) == sum(range(8))
+
+    def test_chained_lineage(self, ctx):
+        rdd = (ctx.parallelize(range(20))
+               .map(lambda x: x + 1)
+               .filter(lambda x: x % 2 == 0)
+               .map(lambda x: x * 10))
+        assert sorted(rdd.collect()) == [20 * i for i in range(1, 11)]
+
+    def test_laziness(self, ctx):
+        """No time passes until an action runs."""
+        before = ctx.now
+        ctx.parallelize(range(100)).map(lambda x: x).filter(bool)
+        assert ctx.now == before
+
+
+class TestTimeAccounting:
+    def test_actions_advance_clock(self, ctx):
+        rdd = ctx.parallelize(range(1000)).map(lambda x: x,
+                                               work_per_row=1e-4)
+        before = ctx.now
+        rdd.collect()
+        assert ctx.now > before
+
+    def test_more_work_more_time(self):
+        def run(work):
+            ctx = RddContext(cluster1(executors=4))
+            ctx.parallelize(range(1000)).map(lambda x: x,
+                                             work_per_row=work).collect()
+            return ctx.now
+        assert run(1e-3) > run(1e-5)
+
+    def test_trace_has_compute_spans(self, ctx):
+        ctx.parallelize(range(100)).map(lambda x: x,
+                                        work_per_row=1e-4).collect()
+        kinds = {s.kind for s in ctx.trace.spans}
+        assert "compute" in kinds
+
+
+class TestCachingAndRecovery:
+    def test_cache_makes_second_action_free(self, ctx):
+        rdd = ctx.parallelize(range(1000)).map(
+            lambda x: x, work_per_row=1e-3).cache()
+        rdd.collect()
+        t_first = ctx.now
+        rdd.collect()
+        second_duration = ctx.now - t_first
+        assert second_duration < t_first / 10
+
+    def test_uncached_recomputes_every_action(self, ctx):
+        rdd = ctx.parallelize(range(1000)).map(lambda x: x,
+                                               work_per_row=1e-3)
+        rdd.collect()
+        t_first = ctx.now
+        rdd.collect()
+        assert ctx.now - t_first >= t_first * 0.5
+
+    def test_failure_evicts_and_recovers(self, ctx):
+        rdd = ctx.parallelize(range(1000)).map(
+            lambda x: x + 1, work_per_row=1e-3).cache()
+        expected = sorted(rdd.collect())
+        evicted = ctx.fail_executor(2)
+        assert evicted == 1
+        # Correctness is preserved by lineage recompute...
+        assert sorted(rdd.collect()) == expected
+
+    def test_recovery_costs_time(self, ctx):
+        rdd = ctx.parallelize(range(4000)).map(
+            lambda x: x, work_per_row=1e-3).cache()
+        rdd.collect()
+        t_cached_start = ctx.now
+        rdd.collect()
+        cached_cost = ctx.now - t_cached_start
+        ctx.fail_executor(1)
+        t_recovery_start = ctx.now
+        rdd.collect()
+        recovery_cost = ctx.now - t_recovery_start
+        assert recovery_cost > cached_cost
+
+    def test_fail_unknown_executor(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.fail_executor(99)
+
+
+class TestTreeAggregate:
+    def test_scalar_aggregate(self, ctx):
+        total = ctx.parallelize(range(100)).tree_aggregate(
+            0, lambda acc, x: acc + x, lambda a, b: a + b)
+        assert total == sum(range(100))
+
+    def test_vector_aggregate_like_mllib(self, ctx):
+        """The MLlib GradientDescent pattern: sum vectors via seq/comb."""
+        rows = [np.full(8, float(i)) for i in range(12)]
+        result = ctx.parallelize(rows).tree_aggregate(
+            np.zeros(8), lambda acc, v: acc + v, lambda a, b: a + b,
+            result_size=8)
+        assert np.allclose(result, np.full(8, sum(range(12))))
+
+    def test_large_results_cost_more(self):
+        def run(result_size):
+            ctx = RddContext(cluster1(executors=8))
+            ctx.parallelize(range(8)).tree_aggregate(
+                0, lambda a, x: a, lambda a, b: a,
+                result_size=result_size)
+            return ctx.now
+        assert run(5_000_000) > 10 * run(1)
+
+    def test_driver_span_recorded(self, ctx):
+        ctx.parallelize(range(8)).tree_aggregate(
+            0, lambda a, x: a + x, lambda a, b: a + b, result_size=1000)
+        driver_spans = ctx.trace.spans_for("driver")
+        assert any(s.kind == "aggregate" for s in driver_spans)

@@ -1,0 +1,128 @@
+"""Unit tests for repro.glm.evaluation and SquaredHingeLoss."""
+
+import numpy as np
+import pytest
+
+from repro.glm import (SquaredHingeLoss, evaluate_binary, get_loss, roc_auc)
+
+
+class TestSquaredHinge:
+    def test_zero_beyond_margin(self):
+        loss = SquaredHingeLoss()
+        assert loss.value(np.array([2.0]), np.array([1.0])) == 0.0
+
+    def test_value_at_zero_margin(self):
+        loss = SquaredHingeLoss()
+        assert loss.value(np.array([0.0]), np.array([1.0])) == (
+            pytest.approx(0.5))
+
+    def test_gradient_continuous_at_hinge_point(self):
+        """The reason spark.ml uses it: differentiable at y*margin = 1."""
+        loss = SquaredHingeLoss()
+        eps = 1e-7
+        below = loss.gradient_factor(np.array([1.0 - eps]),
+                                     np.array([1.0]))[0]
+        above = loss.gradient_factor(np.array([1.0 + eps]),
+                                     np.array([1.0]))[0]
+        assert abs(below - above) < 1e-5
+
+    @pytest.mark.parametrize("margin,y", [(-1.0, 1.0), (0.5, 1.0),
+                                          (0.5, -1.0), (2.0, 1.0)])
+    def test_matches_finite_difference(self, margin, y):
+        loss = SquaredHingeLoss()
+        eps = 1e-6
+        up = loss.value(np.array([margin + eps]), np.array([y]))
+        down = loss.value(np.array([margin - eps]), np.array([y]))
+        numeric = (up - down) / (2 * eps)
+        analytic = loss.gradient_factor(np.array([margin]),
+                                        np.array([y]))[0]
+        assert analytic == pytest.approx(numeric, abs=1e-5)
+
+    def test_registered(self):
+        assert isinstance(get_loss("squared_hinge"), SquaredHingeLoss)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        margins = np.array([-2.0, -1.0, 1.0, 2.0])
+        y = np.array([-1.0, -1.0, 1.0, 1.0])
+        assert roc_auc(margins, y) == 1.0
+
+    def test_inverted_ranking(self):
+        margins = np.array([2.0, 1.0, -1.0, -2.0])
+        y = np.array([-1.0, -1.0, 1.0, 1.0])
+        assert roc_auc(margins, y) == 0.0
+
+    def test_random_ranking_is_half(self):
+        rng = np.random.default_rng(0)
+        margins = rng.normal(size=4000)
+        y = np.where(rng.random(4000) < 0.5, 1.0, -1.0)
+        assert roc_auc(margins, y) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_give_half_credit(self):
+        margins = np.zeros(4)
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        assert roc_auc(margins, y) == pytest.approx(0.5)
+
+    def test_single_class_returns_half(self):
+        assert roc_auc(np.array([1.0, 2.0]), np.array([1.0, 1.0])) == 0.5
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(1)
+        margins = rng.normal(size=200)
+        y = np.where(rng.random(200) < 0.4, 1.0, -1.0)
+        assert roc_auc(margins, y) == pytest.approx(
+            roc_auc(np.tanh(margins), y))
+
+
+class TestEvaluateBinary:
+    def test_perfect_classifier(self):
+        margins = np.array([-1.0, -2.0, 1.0, 2.0])
+        y = np.array([-1.0, -1.0, 1.0, 1.0])
+        m = evaluate_binary(margins, y)
+        assert m.accuracy == 1.0
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.f1 == 1.0
+        assert m.auc == 1.0
+        assert m.positives == 2 and m.negatives == 2
+
+    def test_all_positive_predictions(self):
+        margins = np.array([1.0, 1.0, 1.0, 1.0])
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        m = evaluate_binary(margins, y)
+        assert m.accuracy == 0.5
+        assert m.precision == 0.5
+        assert m.recall == 1.0
+
+    def test_no_positive_predictions(self):
+        margins = -np.ones(4)
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        m = evaluate_binary(margins, y)
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            evaluate_binary(np.zeros(3), np.ones(4))
+
+    def test_bad_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            evaluate_binary(np.zeros(2), np.array([0.0, 2.0]))
+
+    def test_describe(self):
+        m = evaluate_binary(np.array([1.0, -1.0]), np.array([1.0, -1.0]))
+        assert "acc=1.000" in m.describe()
+
+    def test_model_evaluate_integration(self):
+        from repro.data import SyntheticSpec, generate
+        from repro.glm import GLMModel, Objective
+        ds = generate(SyntheticSpec(n_rows=200, n_features=30, noise=0.0,
+                                    seed=5))
+        import scipy.sparse.linalg as spla
+        w = spla.lsqr(ds.X, ds.y)[0]
+        model = GLMModel(weights=w, objective=Objective("hinge"))
+        metrics = model.evaluate(ds.X, ds.y)
+        assert metrics.accuracy > 0.9
+        assert metrics.auc > 0.95

@@ -1,0 +1,101 @@
+"""Unit tests for repro.glm.losses, including finite-difference checks."""
+
+import numpy as np
+import pytest
+
+from repro.glm.losses import (LOSSES, HingeLoss, LogisticLoss, SquaredLoss,
+                              get_loss)
+
+
+def finite_difference_factor(loss, margin, y, eps=1e-6):
+    """Numerical d(loss)/d(margin) for a single example."""
+    up = loss.value(np.array([margin + eps]), np.array([y]))
+    down = loss.value(np.array([margin - eps]), np.array([y]))
+    return (up - down) / (2 * eps)
+
+
+class TestHinge:
+    def test_value_inactive(self):
+        loss = HingeLoss()
+        assert loss.value(np.array([2.0]), np.array([1.0])) == 0.0
+
+    def test_value_active(self):
+        loss = HingeLoss()
+        assert loss.value(np.array([0.0]), np.array([1.0])) == (
+            pytest.approx(1.0))
+
+    def test_value_is_mean(self):
+        loss = HingeLoss()
+        v = loss.value(np.array([0.0, 2.0]), np.array([1.0, 1.0]))
+        assert v == pytest.approx(0.5)
+
+    def test_gradient_factor(self):
+        loss = HingeLoss()
+        factor = loss.gradient_factor(np.array([0.0, 2.0, -1.0]),
+                                      np.array([1.0, 1.0, -1.0]))
+        assert list(factor) == [-1.0, 0.0, 0.0]
+
+    @pytest.mark.parametrize("margin,y", [(-2.0, 1.0), (0.5, 1.0),
+                                          (0.5, -1.0), (3.0, -1.0)])
+    def test_matches_finite_difference(self, margin, y):
+        loss = HingeLoss()
+        analytic = loss.gradient_factor(np.array([margin]),
+                                        np.array([y]))[0]
+        numeric = finite_difference_factor(loss, margin, y)
+        assert analytic == pytest.approx(numeric, abs=1e-5)
+
+
+class TestLogistic:
+    @pytest.mark.parametrize("margin,y", [(-3.0, 1.0), (0.0, 1.0),
+                                          (2.5, -1.0), (-0.7, -1.0)])
+    def test_matches_finite_difference(self, margin, y):
+        loss = LogisticLoss()
+        analytic = loss.gradient_factor(np.array([margin]),
+                                        np.array([y]))[0]
+        numeric = finite_difference_factor(loss, margin, y)
+        assert analytic == pytest.approx(numeric, abs=1e-5)
+
+    def test_value_at_zero_margin(self):
+        loss = LogisticLoss()
+        assert loss.value(np.array([0.0]), np.array([1.0])) == (
+            pytest.approx(np.log(2.0)))
+
+    def test_numerically_stable_at_extreme_margins(self):
+        loss = LogisticLoss()
+        v = loss.value(np.array([-1000.0, 1000.0]), np.array([1.0, 1.0]))
+        assert np.isfinite(v)
+        g = loss.gradient_factor(np.array([-1000.0, 1000.0]),
+                                 np.array([1.0, 1.0]))
+        assert np.all(np.isfinite(g))
+        assert g[0] == pytest.approx(-1.0)
+        assert g[1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSquared:
+    @pytest.mark.parametrize("margin,y", [(0.3, 1.0), (-2.0, -1.0),
+                                          (1.5, -1.0)])
+    def test_matches_finite_difference(self, margin, y):
+        loss = SquaredLoss()
+        analytic = loss.gradient_factor(np.array([margin]),
+                                        np.array([y]))[0]
+        numeric = finite_difference_factor(loss, margin, y)
+        assert analytic == pytest.approx(numeric, abs=1e-5)
+
+    def test_zero_at_exact_fit(self):
+        loss = SquaredLoss()
+        assert loss.value(np.array([1.0]), np.array([1.0])) == 0.0
+
+
+class TestRegistry:
+    def test_get_loss_by_name(self):
+        assert isinstance(get_loss("hinge"), HingeLoss)
+        assert isinstance(get_loss("logistic"), LogisticLoss)
+        assert isinstance(get_loss("squared"), SquaredLoss)
+
+    def test_registry_names_match(self):
+        for name, cls in LOSSES.items():
+            assert cls.name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown loss"):
+            get_loss("perceptron")

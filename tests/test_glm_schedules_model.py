@@ -1,0 +1,81 @@
+"""Unit tests for repro.glm.schedules and repro.glm.model."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticSpec, generate
+from repro.glm import (ConstantLR, GLMModel, InvSqrtLR, InvTimeLR, Objective,
+                       get_schedule)
+
+
+class TestSchedules:
+    def test_constant(self):
+        lr = ConstantLR(0.5)
+        assert lr.at(1) == lr.at(1000) == 0.5
+
+    def test_inv_sqrt(self):
+        lr = InvSqrtLR(1.0)
+        assert lr.at(1) == pytest.approx(1.0)
+        assert lr.at(4) == pytest.approx(0.5)
+        assert lr.at(100) == pytest.approx(0.1)
+
+    def test_inv_time(self):
+        lr = InvTimeLR(1.0, decay=0.1)
+        assert lr.at(10) == pytest.approx(0.5)
+
+    def test_one_based_indexing(self):
+        with pytest.raises(ValueError):
+            InvSqrtLR(1.0).at(0)
+        with pytest.raises(ValueError):
+            InvTimeLR(1.0).at(0)
+
+    def test_get_schedule(self):
+        assert isinstance(get_schedule("constant", 0.1), ConstantLR)
+        assert isinstance(get_schedule("inv_sqrt", 0.1), InvSqrtLR)
+        assert isinstance(get_schedule("inv_time", 0.1), InvTimeLR)
+        with pytest.raises(KeyError):
+            get_schedule("cosine", 0.1)
+
+    def test_positive_rate_required(self):
+        for cls in (ConstantLR, InvSqrtLR, InvTimeLR):
+            with pytest.raises(ValueError):
+                cls(0.0)
+
+
+class TestGLMModel:
+    @pytest.fixture
+    def ds(self):
+        return generate(SyntheticSpec(n_rows=200, n_features=30, noise=0.0,
+                                      seed=21))
+
+    def test_predict_shape_and_values(self, ds):
+        model = GLMModel(weights=np.ones(30), objective=Objective("hinge"))
+        preds = model.predict(ds.X)
+        assert preds.shape == (200,)
+        assert set(np.unique(preds)) <= {-1.0, 1.0}
+
+    def test_accuracy_bounds(self, ds):
+        model = GLMModel(weights=np.zeros(30), objective=Objective("hinge"))
+        acc = model.accuracy(ds.X, ds.y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_decision_function_matches_matvec(self, ds):
+        w = np.random.default_rng(0).normal(size=30)
+        model = GLMModel(weights=w, objective=Objective("hinge"))
+        assert np.allclose(model.decision_function(ds.X), ds.X @ w)
+
+    def test_dimension_mismatch_raises(self, ds):
+        model = GLMModel(weights=np.zeros(29), objective=Objective("hinge"))
+        with pytest.raises(ValueError, match="features"):
+            model.predict(ds.X)
+
+    def test_rejects_matrix_weights(self):
+        with pytest.raises(ValueError):
+            GLMModel(weights=np.zeros((3, 3)), objective=Objective("hinge"))
+
+    def test_objective_value_delegates(self, ds):
+        obj = Objective("hinge", "l2", 0.1)
+        w = np.ones(30) * 0.1
+        model = GLMModel(weights=w, objective=obj)
+        assert model.objective_value(ds.X, ds.y) == pytest.approx(
+            obj.value(w, ds.X, ds.y))

@@ -1,0 +1,172 @@
+"""Integration tests: the paper's qualitative claims at test scale.
+
+Each test here reproduces, in miniature, one of the shapes the evaluation
+section reports.  These are the tests that tie the substrates together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (MLlibModelAveragingTrainer, MLlibStarTrainer,
+                        MLlibTrainer, TrainerConfig)
+from repro.data import SyntheticSpec, generate
+from repro.glm import Objective
+from repro.metrics import evaluate_convergence, speedup, summarize
+from repro.ps import AngelTrainer, PetuumStarTrainer
+
+
+@pytest.fixture(scope="module")
+def determined():
+    """n >> d, avazu/kdd12 style."""
+    return generate(SyntheticSpec(n_rows=3000, n_features=150,
+                                  nnz_per_row=10.0, noise=0.03, seed=31),
+                    name="determined")
+
+
+@pytest.fixture(scope="module")
+def underdetermined():
+    """d > n, url/kddb style."""
+    return generate(SyntheticSpec(n_rows=400, n_features=900,
+                                  nnz_per_row=25.0, noise=0.01, seed=32),
+                    name="underdetermined")
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    from repro.cluster import cluster1
+    return cluster1(executors=4)
+
+
+class TestFigure4Shapes:
+    """MLlib vs MLlib*."""
+
+    # Configurations mirror the paper's per-system tuning: MLlib runs its
+    # default stepSize/sqrt(t) decay on small batches; MLlib* runs local
+    # SGD with the same decay on the outer step.
+    STAR = TrainerConfig(max_steps=30, learning_rate=0.5,
+                         lr_schedule="inv_sqrt", local_chunk_size=8, seed=1)
+    MLLIB = TrainerConfig(max_steps=600, eval_every=10, learning_rate=0.5,
+                          lr_schedule="inv_sqrt", batch_fraction=0.05,
+                          seed=1)
+
+    def test_star_needs_far_fewer_steps(self, determined, cluster):
+        obj = Objective("hinge")
+        star = MLlibStarTrainer(obj, cluster, self.STAR).fit(determined)
+        mllib = MLlibTrainer(obj, cluster, self.MLLIB).fit(determined)
+        res = evaluate_convergence([mllib.history, star.history])
+        assert res["MLlib*"].converged
+        ratio = speedup(res["MLlib"], res["MLlib*"], "steps")
+        # Either MLlib never converges or it needs >= 5x the steps.
+        assert ratio is None or ratio >= 5.0
+
+    def test_mllib_struggles_on_underdetermined_no_reg(self, underdetermined,
+                                                       cluster):
+        """Figure 4(d)/(f): without regularization on d > n data, MLlib
+        cannot reach MLlib*'s loss within the step budget."""
+        obj = Objective("hinge")
+        star = MLlibStarTrainer(obj, cluster, self.STAR).fit(underdetermined)
+        mllib = MLlibTrainer(obj, cluster, self.MLLIB).fit(underdetermined)
+        res = evaluate_convergence([mllib.history, star.history])
+        assert res["MLlib*"].converged
+        assert not res["MLlib"].converged
+
+    def test_l2_shrinks_the_gap(self, underdetermined, cluster):
+        """Figure 4(c)/(e): with L2 = 0.1 the problem is better conditioned
+        and MLlib now reaches (essentially) the same loss as MLlib*."""
+        obj = Objective("hinge", "l2", 0.1)
+        star = MLlibStarTrainer(obj, cluster, self.STAR).fit(underdetermined)
+        mllib = MLlibTrainer(
+            obj, cluster,
+            self.MLLIB.with_overrides(max_steps=1500, eval_every=25,
+                                      learning_rate=1.0,
+                                      batch_fraction=0.1),
+        ).fit(underdetermined)
+        gap = abs(star.history.best_objective - mllib.history.best_objective)
+        assert gap < 0.03
+        res = evaluate_convergence([mllib.history, star.history],
+                                   accuracy_loss=0.02)
+        assert res["MLlib"].converged
+        assert res["MLlib*"].converged
+
+
+class TestFigure3Shapes:
+    """Gantt-chart structure."""
+
+    def test_mllib_executors_wait_much_more_than_star(self, determined,
+                                                      cluster):
+        obj = Objective("hinge")
+        cfg = TrainerConfig(max_steps=5, seed=1)
+        mllib = MLlibTrainer(obj, cluster, cfg).fit(determined)
+        star = MLlibStarTrainer(obj, cluster, cfg).fit(determined)
+        s_mllib = summarize(mllib.trace)
+        s_star = summarize(star.trace)
+        assert s_star.executor_busy_fraction > s_mllib.executor_busy_fraction
+        assert s_star.driver_busy_fraction == 0.0
+        assert s_mllib.driver_busy_fraction > 0.0
+
+
+class TestTrafficInvariant:
+    def test_ma_and_star_same_numerics_different_time(self, determined,
+                                                      cluster):
+        """Same updates, same convergence; only the clock differs."""
+        obj = Objective("hinge")
+        cfg = TrainerConfig(max_steps=5, seed=2)
+        ma = MLlibModelAveragingTrainer(obj, cluster, cfg).fit(determined)
+        star = MLlibStarTrainer(obj, cluster, cfg).fit(determined)
+        assert ma.history.objectives() == pytest.approx(
+            star.history.objectives())
+        assert ma.history.seconds() != star.history.seconds()
+
+
+class TestFigure5Shapes:
+    def test_sendmodel_systems_beat_mllib(self, determined, cluster):
+        """All SendModel systems reach a lower objective than MLlib in the
+        same (small) number of communication steps."""
+        obj = Objective("hinge")
+        cfg = TrainerConfig(max_steps=10, learning_rate=0.1,
+                            batch_fraction=0.3, seed=3)
+        mllib = MLlibTrainer(obj, cluster, cfg).fit(determined)
+        for cls in (MLlibStarTrainer, AngelTrainer):
+            other = cls(obj, cluster, cfg).fit(determined)
+            assert other.final_objective < mllib.final_objective, cls
+
+    def test_petuum_star_converges(self, determined, cluster):
+        obj = Objective("hinge")
+        cfg = TrainerConfig(max_steps=40, learning_rate=0.1,
+                            batch_fraction=0.3, seed=3)
+        result = PetuumStarTrainer(obj, cluster, cfg).fit(determined)
+        assert result.final_objective < 0.7 * result.history.objectives()[0]
+
+
+class TestFigure6Shapes:
+    def test_scaling_is_sublinear(self, cluster):
+        """32 -> 128 machines is far below 4x (heterogeneity + comm)."""
+        from repro.cluster import cluster2
+        data = generate(SyntheticSpec(n_rows=12_000, n_features=2_000,
+                                      nnz_per_row=10.0, seed=33), "wx-mini")
+        obj = Objective("hinge")
+        times = {}
+        for k in (8, 32):
+            cl = cluster2(machines=k, seed=5)
+            cfg = TrainerConfig(max_steps=4, learning_rate=0.2, seed=1)
+            result = MLlibStarTrainer(obj, cl, cfg).fit(data)
+            times[k] = result.history.total_seconds
+        observed_speedup = times[8] / times[32]
+        ideal = 32 / 8
+        assert observed_speedup < ideal
+
+
+class TestEndToEndQuality:
+    def test_trained_model_beats_chance(self, determined, cluster):
+        obj = Objective("hinge", "l2", 0.01)
+        result = MLlibStarTrainer(obj, cluster, TrainerConfig(
+            max_steps=15, learning_rate=0.2, seed=4)).fit(determined)
+        acc = result.model.accuracy(determined.X, determined.y)
+        assert acc > 0.8
+
+    def test_logistic_regression_works_too(self, determined, cluster):
+        obj = Objective("logistic", "l2", 0.01)
+        result = MLlibStarTrainer(obj, cluster, TrainerConfig(
+            max_steps=15, learning_rate=0.5, seed=4)).fit(determined)
+        acc = result.model.accuracy(determined.X, determined.y)
+        assert acc > 0.8

@@ -1,0 +1,150 @@
+"""Unit tests for repro.metrics (history, convergence, gantt, reporting)."""
+
+import pytest
+
+from repro.cluster import Trace
+from repro.metrics import (ACCURACY_LOSS, ConvergenceResult, TrainingHistory,
+                           convergence_threshold, evaluate_convergence,
+                           format_speedup, format_table, render_ascii,
+                           speedup, summarize)
+
+
+def make_history(system, points):
+    h = TrainingHistory(system=system)
+    for step, sec, obj in points:
+        h.record(step, sec, obj)
+    return h
+
+
+class TestTrainingHistory:
+    def test_record_and_accessors(self):
+        h = make_history("X", [(0, 0.0, 1.0), (1, 2.0, 0.5)])
+        assert h.total_steps == 1
+        assert h.total_seconds == 2.0
+        assert h.final_objective == 0.5
+        assert h.best_objective == 0.5
+        assert h.objectives() == [1.0, 0.5]
+
+    def test_best_not_final(self):
+        h = make_history("X", [(0, 0.0, 1.0), (1, 1.0, 0.3), (2, 2.0, 0.4)])
+        assert h.best_objective == 0.3
+        assert h.final_objective == 0.4
+
+    def test_monotone_steps_enforced(self):
+        h = make_history("X", [(2, 1.0, 1.0)])
+        with pytest.raises(ValueError):
+            h.record(1, 2.0, 0.5)
+
+    def test_monotone_time_enforced(self):
+        h = make_history("X", [(0, 5.0, 1.0)])
+        with pytest.raises(ValueError):
+            h.record(1, 4.0, 0.5)
+
+    def test_first_reaching(self):
+        h = make_history("X", [(0, 0.0, 1.0), (1, 1.0, 0.6), (2, 2.0, 0.4)])
+        assert h.first_reaching(0.5).step == 2
+        assert h.first_reaching(0.1) is None
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory("X").final_objective
+
+
+class TestConvergence:
+    def test_threshold_uses_global_optimum(self):
+        fast = make_history("fast", [(0, 0.0, 1.0), (5, 1.0, 0.30)])
+        slow = make_history("slow", [(0, 0.0, 1.0), (5, 9.0, 0.50)])
+        assert convergence_threshold([fast, slow]) == pytest.approx(
+            0.30 + ACCURACY_LOSS)
+
+    def test_evaluate_convergence(self):
+        fast = make_history("fast", [(0, 0.0, 1.0), (2, 1.0, 0.30)])
+        slow = make_history("slow", [(0, 0.0, 1.0), (9, 20.0, 0.305),
+                                     (10, 22.0, 0.301)])
+        never = make_history("never", [(0, 0.0, 1.0), (10, 5.0, 0.9)])
+        res = evaluate_convergence([fast, slow, never])
+        assert res["fast"].converged and res["fast"].steps == 2
+        assert res["slow"].converged and res["slow"].steps == 9
+        assert not res["never"].converged
+        assert res["never"].seconds is None
+
+    def test_speedup_axes(self):
+        base = ConvergenceResult("b", True, steps=100, seconds=50.0,
+                                 final_objective=0.3)
+        imp = ConvergenceResult("i", True, steps=5, seconds=2.0,
+                                final_objective=0.3)
+        assert speedup(base, imp, "steps") == pytest.approx(20.0)
+        assert speedup(base, imp, "seconds") == pytest.approx(25.0)
+
+    def test_speedup_none_when_not_converged(self):
+        base = ConvergenceResult("b", False, None, None, 0.9)
+        imp = ConvergenceResult("i", True, 5, 2.0, 0.3)
+        assert speedup(base, imp) is None
+
+    def test_speedup_bad_axis(self):
+        imp = ConvergenceResult("i", True, 5, 2.0, 0.3)
+        with pytest.raises(ValueError):
+            speedup(imp, imp, axis="epochs")
+
+
+class TestGantt:
+    @pytest.fixture
+    def trace(self):
+        t = Trace()
+        t.add("driver", 0.0, 2.0, "update")
+        t.add("executor-1", 0.0, 1.0, "compute")
+        t.add("executor-1", 1.0, 2.0, "wait")
+        t.add("executor-2", 0.0, 2.0, "compute")
+        return t
+
+    def test_summary_fractions(self, trace):
+        s = summarize(trace)
+        assert s.makespan == 2.0
+        assert s.driver_busy_fraction == pytest.approx(1.0)
+        assert s.executor_busy_fraction == pytest.approx(0.75)
+        assert s.executor_wait_fraction == pytest.approx(0.25)
+
+    def test_render_contains_all_nodes(self, trace):
+        art = render_ascii(trace, width=20)
+        assert "driver" in art
+        assert "executor-1" in art
+        assert "executor-2" in art
+
+    def test_render_chars(self, trace):
+        art = render_ascii(trace, width=20)
+        lines = art.splitlines()
+        driver_line = next(l for l in lines if l.strip().startswith("driver"))
+        assert "U" in driver_line
+        exec1 = next(l for l in lines if "executor-1" in l)
+        assert "C" in exec1 and "." in exec1
+
+    def test_driver_row_first(self, trace):
+        art = render_ascii(trace, width=10)
+        assert art.splitlines()[0].strip().startswith("driver")
+
+    def test_empty_trace(self):
+        assert render_ascii(Trace()) == "(empty trace)"
+
+    def test_describe(self, trace):
+        text = summarize(trace).describe()
+        assert "makespan" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1.0], ["longer", None]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "-" in lines[2]
+        assert "n/a" not in table
+        assert "-" in lines[4]  # None renders as '-'
+
+    def test_format_table_row_width_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_speedup(self):
+        assert format_speedup(12.34) == "12.3x"
+        assert format_speedup(None) == "n/c"

@@ -1,0 +1,78 @@
+"""Unit tests for repro.metrics.plots (ASCII convergence curves)."""
+
+import pytest
+
+from repro.metrics import TrainingHistory, render_curves
+
+
+def make_history(system, points):
+    h = TrainingHistory(system=system)
+    for step, sec, obj in points:
+        h.record(step, sec, obj)
+    return h
+
+
+@pytest.fixture
+def two_histories():
+    fast = make_history("MLlib*", [(0, 0.0, 1.0), (5, 0.5, 0.4),
+                                   (10, 1.0, 0.2)])
+    slow = make_history("MLlib", [(0, 0.0, 1.0), (50, 5.0, 0.8),
+                                  (100, 10.0, 0.6)])
+    return [fast, slow]
+
+
+class TestRenderCurves:
+    def test_contains_legend(self, two_histories):
+        art = render_curves(two_histories)
+        assert "*=MLlib*" in art
+        assert "o=MLlib" in art
+
+    def test_contains_axis_label(self, two_histories):
+        assert "[steps]" in render_curves(two_histories, x_axis="steps")
+        assert "[seconds]" in render_curves(two_histories,
+                                            x_axis="seconds")
+
+    def test_log_axis_label(self, two_histories):
+        art = render_curves(two_histories, x_axis="seconds", log_x=True)
+        assert "log10(seconds)" in art
+
+    def test_glyphs_present(self, two_histories):
+        art = render_curves(two_histories, width=60, height=12)
+        body = art.split("[")[0]
+        assert "*" in body
+        assert "o" in body
+
+    def test_threshold_line(self, two_histories):
+        art = render_curves(two_histories, threshold=0.5)
+        assert any(line.count("-") > 20 for line in art.splitlines())
+
+    def test_y_labels_span_range(self, two_histories):
+        art = render_curves(two_histories)
+        assert "1.000" in art
+        assert "0.200" in art
+
+    def test_log_x_drops_nonpositive(self):
+        h = make_history("X", [(0, 0.0, 1.0), (10, 1.0, 0.5)])
+        art = render_curves([h], x_axis="steps", log_x=True)
+        # Step 0 dropped; only one point remains, plot still renders.
+        assert "X" in art
+
+    def test_flat_curve_renders(self):
+        h = make_history("flat", [(0, 0.0, 0.5), (1, 1.0, 0.5)])
+        art = render_curves([h])
+        assert "flat" in art
+
+    def test_validation(self, two_histories):
+        with pytest.raises(ValueError):
+            render_curves([])
+        with pytest.raises(ValueError):
+            render_curves(two_histories, x_axis="epochs")
+        with pytest.raises(ValueError):
+            render_curves(two_histories, width=2)
+        with pytest.raises(ValueError):
+            render_curves([two_histories[0]] * 9)
+
+    def test_all_points_unplottable(self):
+        h = make_history("X", [(0, 0.0, 1.0)])
+        assert render_curves([h], x_axis="seconds", log_x=True) == (
+            "(no plottable points)")

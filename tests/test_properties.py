@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster import NetworkModel
+from repro.collectives import (all_gather, all_reduce_average,
+                               partition_slices, reduce_scatter)
+from repro.engine.shuffle import exchange
+from repro.glm.lazy_update import ScaledVector
+from repro.glm.losses import HingeLoss, LogisticLoss, SquaredLoss
+
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+@st.composite
+def model_lists(draw):
+    k = draw(st.integers(min_value=1, max_value=8))
+    m = draw(st.integers(min_value=8, max_value=64))
+    models = [
+        np.array(draw(st.lists(finite_floats, min_size=m, max_size=m)))
+        for _ in range(k)
+    ]
+    return models
+
+
+class TestAllReduceProperties:
+    @given(models=model_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_allreduce_equals_mean(self, models):
+        got = all_reduce_average(models)
+        assert np.allclose(got, np.mean(models, axis=0), atol=1e-9)
+
+    @given(models=model_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_reduce_scatter_sum_equals_sum(self, models):
+        partitions = reduce_scatter(models, combine="sum")
+        full = all_gather(partitions, models[0].shape[0])
+        assert np.allclose(full, np.sum(models, axis=0), atol=1e-9)
+
+    @given(m=st.integers(min_value=1, max_value=500),
+           k=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_slices_partition_the_range(self, m, k):
+        if m < k:
+            return  # invalid configuration, covered by unit tests
+        slices = partition_slices(m, k)
+        covered = np.zeros(m, dtype=int)
+        for s in slices:
+            covered[s] += 1
+        assert np.all(covered == 1)
+        sizes = [s.stop - s.start for s in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestShuffleProperties:
+    @given(st.lists(st.dictionaries(st.integers(0, 5),
+                                    st.integers(-100, 100), max_size=6),
+                    min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_exchange_conserves_messages(self, outboxes):
+        k = 6
+        inboxes = exchange(outboxes, num_workers=k)
+        sent = sorted(v for box in outboxes for v in box.values())
+        received = sorted(v for box in inboxes for v in box)
+        assert sent == received
+
+
+class TestLazyVectorProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dense_reference(self, data):
+        dim = data.draw(st.integers(min_value=2, max_value=30))
+        w = np.array(data.draw(st.lists(finite_floats, min_size=dim,
+                                        max_size=dim)))
+        sv = ScaledVector(w)
+        ref = w.copy()
+        n_ops = data.draw(st.integers(min_value=1, max_value=30))
+        for _ in range(n_ops):
+            if data.draw(st.booleans()):
+                factor = data.draw(st.floats(min_value=0.1, max_value=1.5))
+                sv.decay(factor)
+                ref = factor * ref
+            else:
+                idx = data.draw(st.integers(min_value=0, max_value=dim - 1))
+                val = data.draw(finite_floats)
+                sv.axpy_sparse(1.0, np.array([idx]), np.array([val]))
+                ref[idx] += val
+        assert np.allclose(sv.to_array(), ref, atol=1e-6, rtol=1e-6)
+
+
+class TestLossProperties:
+    @given(margins=hnp.arrays(np.float64, st.integers(1, 30),
+                              elements=finite_floats),
+           flip=st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_losses_nonnegative(self, margins, flip):
+        y = np.where(margins >= 0, 1.0, -1.0)
+        if flip:
+            y = -y
+        for loss in (HingeLoss(), LogisticLoss(), SquaredLoss()):
+            assert loss.value(margins, y) >= 0.0
+
+    @given(margins=hnp.arrays(np.float64, st.integers(1, 30),
+                              elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_gradient_factor_shape_and_finite(self, margins):
+        y = np.ones_like(margins)
+        for loss in (HingeLoss(), LogisticLoss(), SquaredLoss()):
+            g = loss.gradient_factor(margins, y)
+            assert g.shape == margins.shape
+            assert np.all(np.isfinite(g))
+
+    @given(margin=finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_hinge_factor_is_subgradient(self, margin):
+        """Hinge factor must lie in the subdifferential at every point."""
+        loss = HingeLoss()
+        g = loss.gradient_factor(np.array([margin]), np.array([1.0]))[0]
+        assert g in (-1.0, 0.0)
+
+
+class TestNetworkProperties:
+    @given(values=st.floats(min_value=0, max_value=1e9),
+           extra=st.floats(min_value=0, max_value=1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_monotone(self, values, extra):
+        net = NetworkModel()
+        assert net.transfer_seconds(values + extra) >= (
+            net.transfer_seconds(values))
+
+    @given(senders=st.integers(min_value=0, max_value=100),
+           values=st.floats(min_value=1, max_value=1e7))
+    @settings(max_examples=50, deadline=None)
+    def test_fan_in_linear_in_senders(self, senders, values):
+        net = NetworkModel()
+        assert net.fan_in_seconds(senders, values) == (
+            senders * net.transfer_seconds(values))

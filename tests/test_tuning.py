@@ -1,0 +1,83 @@
+"""Unit tests for repro.tuning (grid search)."""
+
+import pytest
+
+from repro.core import MLlibStarTrainer, TrainerConfig
+from repro.glm import Objective
+from repro.tuning import GridSearch, expand_grid
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        grid = expand_grid({"learning_rate": [0.1, 0.5],
+                            "batch_fraction": [0.01, 0.1]})
+        assert len(grid) == 4
+        assert {"learning_rate": 0.5, "batch_fraction": 0.01} in grid
+
+    def test_empty_grid(self):
+        assert expand_grid({}) == [{}]
+
+    def test_single_axis(self):
+        assert expand_grid({"seed": [1, 2, 3]}) == [
+            {"seed": 1}, {"seed": 2}, {"seed": 3}]
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ValueError, match="non-empty lists"):
+            expand_grid({"learning_rate": 0.1})
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            expand_grid({"learning_rate": []})
+
+
+class TestGridSearch:
+    @pytest.fixture
+    def search(self, small_cluster):
+        return GridSearch(
+            trainer_cls=MLlibStarTrainer,
+            objective=Objective("hinge"),
+            cluster=small_cluster,
+            base_config=TrainerConfig(max_steps=6, seed=1),
+        )
+
+    def test_runs_every_point(self, search, tiny_dataset):
+        points = search.run(tiny_dataset, {"learning_rate": [0.05, 0.2],
+                                           "local_chunk_size": [16, 64]})
+        assert len(points) == 4
+        params_seen = {tuple(sorted(p.params.items())) for p in points}
+        assert len(params_seen) == 4
+
+    def test_sorted_best_first(self, search, tiny_dataset):
+        points = search.run(tiny_dataset, {"learning_rate": [0.01, 0.2]})
+        keys = [p.sort_key() for p in points]
+        assert keys == sorted(keys)
+
+    def test_converged_ranked_above_nonconverged(self, search,
+                                                 tiny_dataset):
+        points = search.run(tiny_dataset,
+                            {"learning_rate": [0.001, 0.2]})
+        if any(p.converged for p in points) and (
+                not all(p.converged for p in points)):
+            assert points[0].converged
+
+    def test_best_returns_first(self, search, tiny_dataset):
+        grid = {"learning_rate": [0.05, 0.2]}
+        best = search.best(tiny_dataset, grid)
+        assert best.sort_key() == search.run(tiny_dataset, grid)[0].sort_key()
+
+    def test_explicit_target(self, small_cluster, tiny_dataset):
+        search = GridSearch(
+            trainer_cls=MLlibStarTrainer,
+            objective=Objective("hinge"),
+            cluster=small_cluster,
+            base_config=TrainerConfig(max_steps=6, seed=1),
+            target=0.99,  # trivially reachable from f(0) = 1.0
+        )
+        points = search.run(tiny_dataset, {"learning_rate": [0.2]})
+        assert points[0].converged
+        assert points[0].steps_to_target is not None
+
+    def test_point_exposes_result(self, search, tiny_dataset):
+        point = search.best(tiny_dataset, {"learning_rate": [0.2]})
+        assert point.result.model.dim == tiny_dataset.n_features
+        assert point.best_objective <= 1.0
