@@ -75,6 +75,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--chunk-size", type=int, default=32)
         p.add_argument("--eval-every", type=int, default=1)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--failure-rate", type=float, default=0.0,
+                       help="per-(step, executor) crash probability "
+                            "(0 disables fault injection)")
+        p.add_argument("--failure-schedule", default=None, metavar="SPEC",
+                       help="scripted crashes, e.g. '3@12' or "
+                            "'1@5:reduce_scatter,0@2x5'")
+        p.add_argument("--checkpoint-every", type=int, default=0,
+                       help="steps between checkpoint writes (switches "
+                            "recovery to checkpoint-restore; 0 keeps "
+                            "lineage recompute)")
+        p.add_argument("--max-retries", type=int, default=2,
+                       help="recoveries allowed per crash site before "
+                            "the run is declared lost")
+        p.add_argument("--restart-seconds", type=float, default=1.0,
+                       help="executor restart delay paid per recovery")
 
     train = sub.add_parser("train", help="train one system")
     add_workload_args(train)
@@ -130,7 +145,14 @@ def _make_config(args, **overrides) -> TrainerConfig:
                 lr_schedule=args.schedule,
                 batch_fraction=args.batch_fraction,
                 local_chunk_size=args.chunk_size,
-                eval_every=args.eval_every, seed=args.seed)
+                eval_every=args.eval_every, seed=args.seed,
+                failure_rate=getattr(args, "failure_rate", 0.0),
+                failure_schedule=getattr(args, "failure_schedule", None),
+                checkpoint_every=getattr(args, "checkpoint_every", 0),
+                max_retries=getattr(args, "max_retries", 2),
+                restart_seconds=getattr(args, "restart_seconds", 1.0))
+    if base["checkpoint_every"]:
+        base["recovery_strategy"] = "checkpoint"
     base.update(overrides)
     return TrainerConfig(**base)
 
@@ -170,6 +192,10 @@ def cmd_train(args) -> int:
     print(format_table(["step", "sim seconds", "objective"], rows))
     if result.diverged:
         print("WARNING: training diverged")
+    if result.failures:
+        print(f"recovered from {len(result.failures)} injected "
+              f"failure(s); {result.recovery_seconds:.3f} simulated "
+              "seconds of recovery downtime")
     acc = result.model.accuracy(dataset.X, dataset.y)
     print(f"final objective {result.final_objective:.4f}, "
           f"training accuracy {acc:.1%}")

@@ -8,6 +8,11 @@ host while preserving the relative timing behaviour the paper analyzes.
 
 from .cluster import ClusterSpec, cluster1, cluster2
 from .cost import ComputeCostModel
+from .faults import (FAILURE_PHASES, CompositeFailures, FailureEvent,
+                     FailureModel, FailureRecord, NoFailures, RandomFailures,
+                     RecoveryError, RecoveryPolicy, ScheduledFailures,
+                     SlowNetworkEpisode, build_failure_model,
+                     parse_failure_schedule)
 from .network import GIGABIT, TEN_GIGABIT, NetworkModel
 from .node import (LogNormalStragglers, NodeSpec, NoStragglers,
                    StragglerModel, heterogeneous_nodes, homogeneous_nodes)
@@ -20,4 +25,8 @@ __all__ = [
     "NodeSpec", "StragglerModel", "NoStragglers", "LogNormalStragglers",
     "homogeneous_nodes", "heterogeneous_nodes",
     "Span", "Trace", "SPAN_KINDS",
+    "FAILURE_PHASES", "FailureEvent", "FailureRecord", "FailureModel",
+    "NoFailures", "RandomFailures", "ScheduledFailures", "CompositeFailures",
+    "SlowNetworkEpisode", "RecoveryPolicy", "RecoveryError",
+    "build_failure_model", "parse_failure_schedule",
 ]

@@ -1,0 +1,338 @@
+"""Fault injection and recovery policies for the simulated cluster.
+
+Spark's headline robustness claim — surviving executor loss via lineage
+recomputation and checkpointing — is absent from the paper's evaluation,
+which assumes failure-free runs.  This module supplies the missing failure
+models so the engines can price recovery and answer the obvious question:
+does MLlib*'s driver-free AllReduce stay ahead of driver-centric
+SendGradient once recovery costs are included?
+
+Design rules, mirroring the straggler machinery:
+
+* **Failures change the clock, never the weights.**  A crashed executor's
+  work for the superstep is voided and deterministically redone, so every
+  run produces the same iterates with and without injected failures — only
+  simulated time and the trace differ.
+* **Everything is seeded.**  :class:`RandomFailures` derives each draw
+  from ``(seed, step, executor, attempt)``, so outcomes are reproducible
+  and independent of evaluation order; :class:`ScheduledFailures` scripts
+  exact "executor e dies at step s" scenarios for tests and benchmarks.
+* **Recovery is a policy.**  :class:`RecoveryPolicy` caps retries and
+  chooses between lineage recomputation (Spark's default) and restoring
+  from a periodic checkpoint; exceeding the retry cap raises
+  :class:`RecoveryError` — the run is lost, as it would be on a real
+  cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FAILURE_PHASES",
+    "FailureEvent",
+    "FailureRecord",
+    "FailureModel",
+    "NoFailures",
+    "RandomFailures",
+    "ScheduledFailures",
+    "CompositeFailures",
+    "SlowNetworkEpisode",
+    "RecoveryPolicy",
+    "RecoveryError",
+    "parse_failure_schedule",
+    "build_failure_model",
+]
+
+#: Phases a crash can be attributed to.  ``compute`` covers local work in
+#: both engines; ``aggregate`` is MLlib's fan-in; the two shuffle phases
+#: belong to MLlib*'s AllReduce.
+FAILURE_PHASES = ("compute", "aggregate", "reduce_scatter", "all_gather")
+
+
+class RecoveryError(RuntimeError):
+    """An executor kept failing past the policy's retry budget."""
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scripted (or sampled) executor crash.
+
+    ``at_fraction`` places the crash within the phase's work: 0.5 means
+    half the attempt's time was spent (and wasted) before the crash.
+    ``repeats`` makes the same crash recur on consecutive retry attempts,
+    which is how retry exhaustion is scripted.
+    """
+
+    executor: int
+    step: int
+    phase: str = "compute"
+    at_fraction: float = 0.5
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.executor < 0:
+            raise ValueError("executor index must be non-negative")
+        if self.step < 1:
+            raise ValueError("steps are 1-based; got step "
+                             f"{self.step}")
+        if self.phase not in FAILURE_PHASES:
+            raise ValueError(f"unknown failure phase {self.phase!r}; "
+                             f"expected one of {FAILURE_PHASES}")
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ValueError("at_fraction must be in [0, 1]")
+        if self.repeats < 1:
+            raise ValueError("repeats must be at least 1")
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One materialized failure, logged by an engine as it happens.
+
+    ``time`` is the simulated second at which the crash hit; tests assert
+    that every ``recovery`` span in the trace starts at a logged crash.
+    """
+
+    node: str
+    step: int
+    phase: str
+    time: float
+    attempt: int
+
+
+@dataclass(frozen=True)
+class SlowNetworkEpisode:
+    """A transient network degradation over a step interval (inclusive)."""
+
+    start_step: int
+    end_step: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start_step < 1 or self.end_step < self.start_step:
+            raise ValueError("need 1 <= start_step <= end_step")
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+
+    def active(self, step: int) -> bool:
+        return self.start_step <= step <= self.end_step
+
+
+class FailureModel:
+    """Base class: decides whether an attempt crashes, and network health.
+
+    ``crash_event(step, phase, executor, attempt)`` is consulted by the
+    engines before *every* attempt (attempt 0 is the first try, attempt
+    ``n`` the n-th retry); returning an event voids that attempt's work.
+    """
+
+    #: False only for :class:`NoFailures`; lets engines skip the
+    #: failure path entirely so default runs stay bit-identical.
+    enabled = True
+
+    def crash_event(self, step: int, phase: str, executor: int,
+                    attempt: int) -> FailureEvent | None:
+        raise NotImplementedError
+
+    def network_slowdown(self, step: int) -> float:
+        """Multiplicative factor on network transfer times at ``step``."""
+        return 1.0
+
+
+class NoFailures(FailureModel):
+    """The default: nothing ever fails (pre-fault-injection behaviour)."""
+
+    enabled = False
+
+    def crash_event(self, step: int, phase: str, executor: int,
+                    attempt: int) -> FailureEvent | None:
+        return None
+
+
+@dataclass(frozen=True)
+class RandomFailures(FailureModel):
+    """Independent per-(step, executor) crash probability.
+
+    Draws are keyed by ``(seed, step, executor, attempt)`` through a
+    :class:`numpy.random.SeedSequence`, so the outcome for any attempt is
+    a pure function of those four integers — reproducible run-to-run and
+    unaffected by how many other draws happened first.  Crashes land in
+    the compute phase (where most of a step's time is spent).
+    """
+
+    rate: float
+    seed: int = 0
+    at_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError("failure rate must be in [0, 1)")
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ValueError("at_fraction must be in [0, 1]")
+
+    def crash_event(self, step: int, phase: str, executor: int,
+                    attempt: int) -> FailureEvent | None:
+        if phase != "compute" or self.rate <= 0.0:
+            return None
+        entropy = (abs(int(self.seed)), step, executor, attempt)
+        draw = np.random.default_rng(
+            np.random.SeedSequence(entropy)).random()
+        if draw >= self.rate:
+            return None
+        return FailureEvent(executor=executor, step=step, phase="compute",
+                            at_fraction=self.at_fraction)
+
+
+class ScheduledFailures(FailureModel):
+    """A fixed failure script ("executor 3 dies at step 12").
+
+    Optionally carries :class:`SlowNetworkEpisode` entries so one model
+    can script both crash and slow-network scenarios.
+    """
+
+    def __init__(self, events: list[FailureEvent] | tuple[FailureEvent, ...],
+                 slow_network: tuple[SlowNetworkEpisode, ...] = ()) -> None:
+        self.events = tuple(events)
+        self.slow_network = tuple(slow_network)
+
+    def crash_event(self, step: int, phase: str, executor: int,
+                    attempt: int) -> FailureEvent | None:
+        for event in self.events:
+            if (event.executor == executor and event.step == step
+                    and event.phase == phase and attempt < event.repeats):
+                return event
+        return None
+
+    def network_slowdown(self, step: int) -> float:
+        factor = 1.0
+        for episode in self.slow_network:
+            if episode.active(step):
+                factor *= episode.factor
+        return factor
+
+
+class CompositeFailures(FailureModel):
+    """Union of several failure models (first crash wins; slowdowns stack)."""
+
+    def __init__(self, models: list[FailureModel]) -> None:
+        self.models = tuple(models)
+
+    def crash_event(self, step: int, phase: str, executor: int,
+                    attempt: int) -> FailureEvent | None:
+        for model in self.models:
+            event = model.crash_event(step, phase, executor, attempt)
+            if event is not None:
+                return event
+        return None
+
+    def network_slowdown(self, step: int) -> float:
+        factor = 1.0
+        for model in self.models:
+            factor *= model.network_slowdown(step)
+        return factor
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How an engine responds to a crash.
+
+    Parameters
+    ----------
+    max_retries:
+        Recoveries allowed per (executor, step, phase).  A crash on the
+        attempt after the last permitted retry raises
+        :class:`RecoveryError` — the training run is lost.
+    strategy:
+        ``recompute`` — Spark's lineage story: the restarted executor
+        rebuilds its cached partition from source (priced by the engine's
+        per-executor reload cost) before redoing the step's work.
+        ``checkpoint`` — restore from the most recent checkpoint instead;
+        cheaper after a crash, but checkpoints cost time to write.
+    checkpoint_every:
+        Write a checkpoint every this many steps (``checkpoint`` strategy
+        only; 0 disables writing, in which case restores fall back to
+        lineage recomputation until a checkpoint exists).
+    restart_seconds:
+        Fixed executor restart/reschedule delay paid on every recovery
+        (container re-launch, task rescheduling, backoff).
+    """
+
+    max_retries: int = 2
+    strategy: str = "recompute"
+    checkpoint_every: int = 0
+    restart_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.strategy not in ("recompute", "checkpoint"):
+            raise ValueError("recovery strategy must be 'recompute' or "
+                             "'checkpoint'")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.restart_seconds < 0:
+            raise ValueError("restart_seconds must be non-negative")
+
+    @property
+    def writes_checkpoints(self) -> bool:
+        return self.strategy == "checkpoint" and self.checkpoint_every > 0
+
+
+def parse_failure_schedule(spec: str) -> list[FailureEvent]:
+    """Parse a schedule string into :class:`FailureEvent` entries.
+
+    Grammar (comma-separated entries)::
+
+        EXECUTOR@STEP[:PHASE][xREPEATS]
+
+    Examples::
+
+        "3@12"                  executor 3 dies at step 12 (compute phase)
+        "1@5:reduce_scatter"    executor 1 dies mid Reduce-Scatter
+        "0@2x5"                 executor 0 dies 5 attempts in a row at
+                                step 2 (exhausts a max_retries < 5 budget)
+    """
+    events: list[FailureEvent] = []
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        head, sep, rest = entry.partition("@")
+        if not sep:
+            raise ValueError(
+                f"bad failure schedule entry {entry!r}: expected "
+                "EXECUTOR@STEP[:PHASE][xREPEATS]")
+        repeats = 1
+        phase = "compute"
+        if "x" in rest:
+            rest, _, repeat_text = rest.rpartition("x")
+            repeats = int(repeat_text)
+        if ":" in rest:
+            rest, _, phase = rest.partition(":")
+        try:
+            executor = int(head)
+            step = int(rest)
+        except ValueError:
+            raise ValueError(
+                f"bad failure schedule entry {entry!r}: executor and "
+                "step must be integers") from None
+        events.append(FailureEvent(executor=executor, step=step,
+                                   phase=phase, repeats=repeats))
+    return events
+
+
+def build_failure_model(rate: float = 0.0, schedule: str | None = None,
+                        seed: int = 0) -> FailureModel:
+    """Compose a failure model from trainer-config primitives."""
+    models: list[FailureModel] = []
+    if schedule:
+        models.append(ScheduledFailures(parse_failure_schedule(schedule)))
+    if rate > 0.0:
+        models.append(RandomFailures(rate=rate, seed=seed))
+    if not models:
+        return NoFailures()
+    if len(models) == 1:
+        return models[0]
+    return CompositeFailures(models)

@@ -12,7 +12,10 @@ Span kinds follow the activities visible in the paper's charts:
 * ``send`` / ``recv`` — time attributable to network transfers,
 * ``wait``      — idle time at a BSP barrier (the bottleneck made visible),
 * ``update``    — the driver applying a gradient to the global model,
-* ``barrier``   — zero-or-more bookkeeping marker for stage boundaries.
+* ``barrier``   — zero-or-more bookkeeping marker for stage boundaries,
+* ``recovery``  — downtime after an injected executor crash (restart +
+  lineage recompute or checkpoint restore; see :mod:`repro.cluster.faults`),
+* ``checkpoint`` — writing periodic recovery checkpoints to stable storage.
 """
 
 from __future__ import annotations
@@ -23,7 +26,8 @@ from dataclasses import dataclass
 __all__ = ["Span", "Trace", "SPAN_KINDS"]
 
 SPAN_KINDS = frozenset(
-    {"compute", "aggregate", "send", "recv", "wait", "update", "barrier"}
+    {"compute", "aggregate", "send", "recv", "wait", "update", "barrier",
+     "recovery", "checkpoint"}
 )
 
 
@@ -92,10 +96,11 @@ class Trace:
                      kinds: frozenset[str] | None = None) -> float:
         """Total span time on ``node``, optionally restricted to ``kinds``.
 
-        ``wait`` and ``barrier`` spans are never counted as busy.
+        ``wait`` and ``barrier`` spans are never counted as busy, and
+        neither is ``recovery`` — it is downtime, not useful work.
         """
         busy_kinds = kinds if kinds is not None else (
-            SPAN_KINDS - {"wait", "barrier"})
+            SPAN_KINDS - {"wait", "barrier", "recovery"})
         return sum(s.duration for s in self._spans
                    if s.node == node and s.kind in busy_kinds)
 
@@ -103,6 +108,12 @@ class Trace:
         """Total barrier-wait time on ``node``."""
         return sum(s.duration for s in self._spans
                    if s.node == node and s.kind == "wait")
+
+    def recovery_seconds(self, node: str | None = None) -> float:
+        """Total failure-recovery downtime, for one node or all nodes."""
+        return sum(s.duration for s in self._spans
+                   if s.kind == "recovery"
+                   and (node is None or s.node == node))
 
     def utilization(self, node: str) -> float:
         """Busy fraction of the makespan for ``node`` (0 if empty trace)."""

@@ -56,6 +56,25 @@ class TrainerConfig:
         summation blowing up).
     seed:
         Seed for batch sampling / shuffling; runs are deterministic.
+    failure_rate:
+        Per-(step, executor) crash probability (0 disables fault
+        injection).  Draws are seeded and order-independent; see
+        :class:`repro.cluster.faults.RandomFailures`.
+    failure_schedule:
+        Scripted failures, e.g. ``"3@12"`` (executor 3 dies at step 12),
+        ``"1@5:reduce_scatter"``, ``"0@2x5"`` (five crashes in a row).
+        See :func:`repro.cluster.faults.parse_failure_schedule`.
+    max_retries:
+        Recoveries allowed per crash site before the run is declared
+        lost with :class:`repro.cluster.faults.RecoveryError`.
+    recovery_strategy:
+        ``recompute`` (Spark lineage) or ``checkpoint`` (periodic
+        checkpoints are written and restored from).
+    checkpoint_every:
+        Steps between checkpoint writes (``checkpoint`` strategy only;
+        0 disables writing).
+    restart_seconds:
+        Fixed executor restart/reschedule delay paid per recovery.
     """
 
     learning_rate: float = 0.1
@@ -70,6 +89,12 @@ class TrainerConfig:
     stop_threshold: float | None = None
     divergence_limit: float = 1.0e6
     seed: int = 0
+    failure_rate: float = 0.0
+    failure_schedule: str | None = None
+    max_retries: int = 2
+    recovery_strategy: str = "recompute"
+    checkpoint_every: int = 0
+    restart_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -88,6 +113,17 @@ class TrainerConfig:
             raise ValueError("tasks_per_executor must be at least 1")
         if self.divergence_limit <= 0:
             raise ValueError("divergence_limit must be positive")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.recovery_strategy not in ("recompute", "checkpoint"):
+            raise ValueError("recovery_strategy must be 'recompute' or "
+                             "'checkpoint'")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.restart_seconds < 0:
+            raise ValueError("restart_seconds must be non-negative")
 
     def with_overrides(self, **kwargs) -> "TrainerConfig":
         """Return a copy with the given fields replaced."""

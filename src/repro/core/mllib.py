@@ -48,7 +48,9 @@ class MLlibTrainer(DistributedTrainer):
     # ------------------------------------------------------------------
     def _prepare(self, data: PartitionedDataset) -> None:
         self._engine = BspEngine(self.cluster, tree=self._tree,
-                                 broadcast=self._broadcast)
+                                 broadcast=self._broadcast,
+                                 faults=self.faults, recovery=self.recovery)
+        self._install_recovery_costs(self._engine, data)
         self._rngs = self._worker_rngs(data.num_partitions)
 
     def _clock(self) -> float:
@@ -92,8 +94,11 @@ class MLlibTrainer(DistributedTrainer):
             durations.append(seconds)
         engine.compute_phase(durations, step)
 
-        # Phase 2: hierarchical aggregation — one message per task.
-        engine.tree_aggregate_phase(m, step, messages_per_executor=waves)
+        # Phase 2: hierarchical aggregation — one message per task.  An
+        # executor crashing here recomputes its batch gradients (the
+        # in-memory vectors die with it) before resending.
+        engine.tree_aggregate_phase(m, step, messages_per_executor=waves,
+                                    redo_seconds=durations)
 
         # Phase 3: the single model update at the driver (bottleneck B1).
         mean_grad = np.mean(gradients, axis=0)

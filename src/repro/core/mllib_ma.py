@@ -43,7 +43,9 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
     # ------------------------------------------------------------------
     def _prepare(self, data: PartitionedDataset) -> None:
         self._engine = BspEngine(self.cluster, tree=self._tree,
-                                 broadcast=self._broadcast)
+                                 broadcast=self._broadcast,
+                                 faults=self.faults, recovery=self.recovery)
+        self._install_recovery_costs(self._engine, data)
         self._rngs = self._worker_rngs(data.num_partitions)
 
     def _clock(self) -> float:
@@ -74,8 +76,10 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
         engine.compute_phase(durations, step)
 
         # Phase 2: unchanged MLlib communication — models (not gradients)
-        # flow through treeAggregate to the driver...
-        engine.tree_aggregate_phase(m, step)
+        # flow through treeAggregate to the driver...  A crash here costs
+        # the executor its local model, so it redoes its local SGD passes
+        # before resending.
+        engine.tree_aggregate_phase(m, step, redo_seconds=durations)
 
         # ...which performs the model averaging (one dense pass) ...
         new_w = np.mean(locals_, axis=0)

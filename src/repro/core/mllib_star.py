@@ -56,9 +56,13 @@ class MLlibStarTrainer(DistributedTrainer):
     def _prepare(self, data: PartitionedDataset) -> None:
         if data.n_features < data.num_partitions:
             raise ValueError(
-                "model must have at least one coordinate per executor to "
-                "be partitioned for AllReduce")
-        self._engine = BspEngine(self.cluster)
+                f"model of size {data.n_features} cannot be partitioned "
+                f"across {data.num_partitions} executors for AllReduce: "
+                "every owner needs at least one coordinate "
+                "(num_executors > model_size)")
+        self._engine = BspEngine(self.cluster, faults=self.faults,
+                                 recovery=self.recovery)
+        self._install_recovery_costs(self._engine, data)
         self._rngs = self._worker_rngs(data.num_partitions)
 
     def _clock(self) -> float:
@@ -88,15 +92,18 @@ class MLlibStarTrainer(DistributedTrainer):
                 stats.nnz_processed, stats.dense_ops, i))
         engine.compute_phase(durations, step)
 
-        # Phase 2: Reduce-Scatter — owners combine their partition.
+        # Phase 2: Reduce-Scatter — owners combine their partition.  A
+        # crashed owner loses its local model *and* every piece peers
+        # shipped it, so recovery redoes the local SGD passes and pulls a
+        # refill fan-in from all peers — the whole barrier stalls on it.
         weights = None
         if self.combine == "weighted":
             weights = [float(p.n_rows) for p in data.partitions]
         partitions = reduce_scatter(locals_, combine=self.combine,
                                     weights=weights)
-        engine.reduce_scatter_phase(m, step)
+        engine.reduce_scatter_phase(m, step, redo_seconds=durations)
 
         # Phase 3: AllGather — everyone reassembles the global model.
         new_w = all_gather(partitions, m)
-        engine.all_gather_phase(m, step)
+        engine.all_gather_phase(m, step, redo_seconds=durations)
         return new_w

@@ -58,7 +58,9 @@ class SparkMlTrainer(DistributedTrainer):
 
     # ------------------------------------------------------------------
     def _prepare(self, data: PartitionedDataset) -> None:
-        self._engine = BspEngine(self.cluster)
+        self._engine = BspEngine(self.cluster, faults=self.faults,
+                                 recovery=self.recovery)
+        self._install_recovery_costs(self._engine, data)
         self._state = LbfgsState(memory=self.memory)
         self._grad = None
 
@@ -103,7 +105,7 @@ class SparkMlTrainer(DistributedTrainer):
         if candidate_shipped:
             engine.broadcast_phase(m, step)
         engine.compute_phase(durations, step)
-        engine.tree_aggregate_phase(m, step)
+        engine.tree_aggregate_phase(m, step, redo_seconds=durations)
 
     def _charge_direction(self, m: int, step: int) -> None:
         """The two-loop recursion over the curvature history."""
@@ -173,6 +175,15 @@ class SparkMlStarTrainer(SparkMlTrainer):
 
     system = "spark.ml*"
 
+    def _prepare(self, data: PartitionedDataset) -> None:
+        if data.n_features < data.num_partitions:
+            raise ValueError(
+                f"model of size {data.n_features} cannot be partitioned "
+                f"across {data.num_partitions} executors for AllReduce: "
+                "every owner needs at least one coordinate "
+                "(num_executors > model_size)")
+        super()._prepare(data)
+
     def _charge_evaluation(self, m: int, step: int,
                            durations: list[float],
                            candidate_shipped: bool) -> None:
@@ -180,8 +191,8 @@ class SparkMlStarTrainer(SparkMlTrainer):
         assert engine is not None
         # No model broadcast: every executor builds the candidate locally.
         engine.compute_phase(durations, step)
-        engine.reduce_scatter_phase(m, step)
-        engine.all_gather_phase(m, step)
+        engine.reduce_scatter_phase(m, step, redo_seconds=durations)
+        engine.all_gather_phase(m, step, redo_seconds=durations)
 
     def _charge_direction(self, m: int, step: int) -> None:
         engine = self._engine

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
+from ..cluster.faults import (FailureRecord, RecoveryPolicy,
+                              build_failure_model)
 from ..data import SparseDataset
 from ..engine import PartitionedDataset
 from ..glm import GLMModel, Objective, get_schedule
@@ -43,10 +45,18 @@ class TrainResult:
     trace: Trace
     converged: bool
     diverged: bool
+    #: Injected executor crashes the run recovered from (empty unless
+    #: fault injection was configured).
+    failures: tuple[FailureRecord, ...] = ()
 
     @property
     def final_objective(self) -> float:
         return self.history.final_objective
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Total failure-recovery downtime across all nodes."""
+        return self.trace.recovery_seconds()
 
 
 class DistributedTrainer:
@@ -72,6 +82,17 @@ class DistributedTrainer:
         self.config = config if config is not None else TrainerConfig()
         self.schedule = get_schedule(self.config.lr_schedule,
                                      self.config.learning_rate)
+        #: Fault-injection model and recovery policy derived from the
+        #: config; engines consult them so failures stretch the simulated
+        #: clock without ever touching the numerics.
+        self.faults = build_failure_model(self.config.failure_rate,
+                                          self.config.failure_schedule,
+                                          self.config.seed)
+        self.recovery = RecoveryPolicy(
+            max_retries=self.config.max_retries,
+            strategy=self.config.recovery_strategy,
+            checkpoint_every=self.config.checkpoint_every,
+            restart_seconds=self.config.restart_seconds)
 
     # ------------------------------------------------------------------
     # subclass contract
@@ -102,6 +123,27 @@ class DistributedTrainer:
         default is a no-op because most trainers receive the model through
         ``_run_step``.
         """
+
+    def _failures(self) -> list[FailureRecord]:
+        """Crash records collected by the engine (empty without one)."""
+        engine = getattr(self, "_engine", None)
+        return list(getattr(engine, "failures", []))
+
+    def _checkpoint_phase(self, step: int, model_size: int) -> None:
+        """Write a recovery checkpoint (engines price it; no-op without
+        an engine, e.g. the event-driven async trainer)."""
+        engine = getattr(self, "_engine", None)
+        if engine is not None:
+            engine.checkpoint_phase(model_size, step)
+
+    def _install_recovery_costs(self, engine,
+                                data: PartitionedDataset) -> None:
+        """Price lineage recomputation of each executor's cached partition
+        (one sparse pass) for the engine's crash-recovery accounting."""
+        engine.set_recovery_costs([
+            self.cluster.compute.sparse_pass_seconds(
+                part.nnz, self.cluster.executors[i])
+            for i, part in enumerate(data.partitions)])
 
     # ------------------------------------------------------------------
     def _worker_rngs(self, num_workers: int) -> list[np.random.Generator]:
@@ -155,6 +197,9 @@ class DistributedTrainer:
         for step in range(1, self.config.max_steps + 1):
             w = self._run_step(step, w, data)
             is_last = step == self.config.max_steps
+            if (self.recovery.writes_checkpoints and not is_last
+                    and step % self.recovery.checkpoint_every == 0):
+                self._checkpoint_phase(step, dataset.n_features)
             if step % self.config.eval_every and not is_last:
                 continue
             objective_value = self.objective.value(w, dataset.X, dataset.y)
@@ -170,4 +215,5 @@ class DistributedTrainer:
 
         model = GLMModel(weights=w, objective=self.objective)
         return TrainResult(model=model, history=history, trace=self._trace(),
-                           converged=converged, diverged=diverged)
+                           converged=converged, diverged=diverged,
+                           failures=tuple(self._failures()))

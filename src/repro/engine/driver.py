@@ -13,14 +13,40 @@ Phases available (one per communication pattern in the paper):
 * :meth:`driver_update_phase` — the driver applies an update to the model;
 * :meth:`broadcast_phase`     — driver ships the model back to executors;
 * :meth:`reduce_scatter_phase`/:meth:`all_gather_phase` — the two shuffle
-  rounds MLlib* replaces the driver round-trip with.
+  rounds MLlib* replaces the driver round-trip with;
+* :meth:`checkpoint_phase`    — executors write recovery state to stable
+  storage (only called when a checkpointing recovery policy is active).
 
 The engine prices time only; the numerical work happens in the trainers.
+
+**Fault injection.**  When constructed with a
+:class:`~repro.cluster.faults.FailureModel`, every phase becomes
+failure-aware: a crashed executor's work for the phase is voided at the
+crash point, a ``recovery`` span prices the restart plus lineage
+recomputation (or checkpoint restore), and the work is deterministically
+redone — so failures stretch the clock and the trace but never change the
+numerics.  Recovery semantics follow each phase's communication pattern:
+
+* a crash during *compute* redoes only that executor's local work;
+* a crash during *treeAggregate* additionally redoes the executor's local
+  work before resending its one vector — the driver fan-in starts late by
+  exactly the recovery delay;
+* a crash during *Reduce-Scatter/AllGather* is the expensive one: the
+  owner's received pieces are lost, so after restarting, **every peer
+  re-sends its piece** (a serialized fan-in into the recovered node) and
+  the barrier stalls all ``k`` executors until the owner catches up.  This
+  asymmetry — AllReduce couples everyone to a lost owner, SendGradient
+  does not — is what the fault benches measure.
+
+With the default :class:`~repro.cluster.faults.NoFailures` model, phase
+timing is bit-identical to the failure-free engine.
 """
 
 from __future__ import annotations
 
 from ..cluster import ClusterSpec, Trace
+from ..cluster.faults import (FailureModel, FailureRecord, NoFailures,
+                              RecoveryError, RecoveryPolicy)
 from .aggregation import TreeAggregateModel
 from .broadcast import BroadcastModel
 from .shuffle import ShuffleModel
@@ -28,6 +54,9 @@ from .shuffle import ShuffleModel
 __all__ = ["BspEngine", "DRIVER_LABEL", "executor_label"]
 
 DRIVER_LABEL = "driver"
+
+#: (seconds, span-kind) work segments used by the failure-aware runner.
+_Segments = list
 
 
 def executor_label(index: int) -> str:
@@ -46,19 +75,36 @@ class BspEngine:
         Aggregation model (depth 1 = flat, 2 = MLlib's treeAggregate).
     broadcast:
         Broadcast transport model.
+    faults:
+        Failure model deciding which (step, phase, executor, attempt)
+        tuples crash; defaults to :class:`NoFailures`.
+    recovery:
+        Retry budget and restore strategy applied on each crash.
     """
 
     def __init__(self, cluster: ClusterSpec,
                  tree: TreeAggregateModel | None = None,
-                 broadcast: BroadcastModel | None = None) -> None:
+                 broadcast: BroadcastModel | None = None,
+                 faults: FailureModel | None = None,
+                 recovery: RecoveryPolicy | None = None) -> None:
         if cluster.num_executors < 1:
             raise ValueError("BSP engine needs at least one executor")
         self.cluster = cluster
         self.tree = tree if tree is not None else TreeAggregateModel()
         self.broadcast = broadcast if broadcast is not None else BroadcastModel()
         self.shuffle = ShuffleModel()
+        self.faults = faults if faults is not None else NoFailures()
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        #: Materialized crashes, in simulated-time order.
+        self.failures: list[FailureRecord] = []
         self.trace = Trace()
         self.now = 0.0
+        #: Per-executor cost of rebuilding a lost cached partition from
+        #: lineage (set by the trainer once partition sizes are known).
+        self._reload_seconds = [0.0] * cluster.num_executors
+        #: Cost of restoring from the latest checkpoint (None until one
+        #: has been written).
+        self._restore_seconds: float | None = None
         cluster.reset_rng()
 
     # ------------------------------------------------------------------
@@ -66,11 +112,88 @@ class BspEngine:
     def num_executors(self) -> int:
         return self.cluster.num_executors
 
+    def set_recovery_costs(self, reload_seconds: list[float]) -> None:
+        """Install the per-executor lineage-recompute cost used on crashes."""
+        if len(reload_seconds) != self.num_executors:
+            raise ValueError(
+                f"expected {self.num_executors} reload costs, "
+                f"got {len(reload_seconds)}")
+        if any(s < 0 for s in reload_seconds):
+            raise ValueError("reload seconds must be non-negative")
+        self._reload_seconds = [float(s) for s in reload_seconds]
+
     def _wait_fill(self, label: str, busy_until: float, barrier: float,
                    step: int) -> None:
         """Record idle time between a node's last activity and the barrier."""
         if barrier > busy_until + 1e-12:
             self.trace.add(label, busy_until, barrier, "wait", step)
+
+    def _net_slowdown(self, step: int) -> float:
+        """Transient network degradation factor (1.0 when faults are off)."""
+        if not self.faults.enabled:
+            return 1.0
+        return self.faults.network_slowdown(step)
+
+    # ------------------------------------------------------------------
+    # failure-aware attempt runner
+    # ------------------------------------------------------------------
+    def _restore_cost(self, executor_index: int) -> float:
+        """Downtime of one recovery: restart + (checkpoint read | lineage)."""
+        base = self.recovery.restart_seconds
+        if (self.recovery.strategy == "checkpoint"
+                and self._restore_seconds is not None):
+            return base + self._restore_seconds
+        return base + self._reload_seconds[executor_index]
+
+    def _attempt_run(self, executor_index: int, start: float,
+                     segments: _Segments, retry_segments: _Segments,
+                     step: int, phase: str) -> float:
+        """Run one executor's phase work with crash/retry handling.
+
+        ``segments``/``retry_segments`` are ``(seconds, kind)`` lists: the
+        first attempt runs ``segments``; every post-recovery attempt runs
+        ``retry_segments`` (which may prepend recomputation work).  Returns
+        the executor's finish time; raises :class:`RecoveryError` once the
+        retry budget is exhausted.
+        """
+        label = executor_label(executor_index)
+        t = start
+        attempt = 0
+        current = segments
+        while True:
+            event = self.faults.crash_event(step, phase, executor_index,
+                                            attempt)
+            if event is None:
+                for seconds, kind in current:
+                    if seconds > 0:
+                        self.trace.add(label, t, t + seconds, kind, step)
+                    t += seconds
+                return t
+            total = sum(seconds for seconds, _ in current)
+            crash_at = t + total * event.at_fraction
+            cursor = t
+            for seconds, kind in current:  # work done before the crash
+                end = min(cursor + seconds, crash_at)
+                if end > cursor:
+                    self.trace.add(label, cursor, end, kind, step)
+                cursor += seconds
+                if cursor >= crash_at:
+                    break
+            self.failures.append(FailureRecord(
+                node=label, step=step, phase=phase, time=crash_at,
+                attempt=attempt))
+            if attempt >= self.recovery.max_retries:
+                raise RecoveryError(
+                    f"{label} crashed in the {phase} phase of step {step} "
+                    f"on attempt {attempt + 1}, exhausting the retry "
+                    f"budget (max_retries={self.recovery.max_retries})")
+            downtime = self._restore_cost(executor_index)
+            if downtime > 0:
+                self.trace.add(label, crash_at, crash_at + downtime,
+                               "recovery", step)
+            t = crash_at + downtime
+            attempt += 1
+            current = retry_segments
 
     # ------------------------------------------------------------------
     def compute_phase(self, seconds_by_executor: list[float],
@@ -79,7 +202,9 @@ class BspEngine:
 
         ``seconds_by_executor[i]`` is the *unperturbed* compute time for
         executor ``i``; the engine multiplies in the per-(node, step)
-        straggler slowdown.  Returns the phase duration.
+        straggler slowdown.  A crashed executor recovers (restart +
+        reload/restore) and redoes its work in full.  Returns the phase
+        duration.
         """
         if len(seconds_by_executor) != self.num_executors:
             raise ValueError(
@@ -92,9 +217,15 @@ class BspEngine:
                 raise ValueError("compute seconds must be non-negative")
             node = self.cluster.executors[i]
             duration = base * self.cluster.slowdown(node, step)
-            end = start + duration
-            if duration > 0:
-                self.trace.add(executor_label(i), start, end, "compute", step)
+            if self.faults.enabled:
+                segments = [(duration, "compute")]
+                end = self._attempt_run(i, start, segments, segments,
+                                        step, "compute")
+            else:
+                end = start + duration
+                if duration > 0:
+                    self.trace.add(executor_label(i), start, end,
+                                   "compute", step)
             finish_times.append(end)
         barrier = max(finish_times, default=start)
         for i, end in enumerate(finish_times):
@@ -104,31 +235,55 @@ class BspEngine:
         return barrier - start
 
     def tree_aggregate_phase(self, model_size: int, step: int,
-                             messages_per_executor: int = 1) -> float:
+                             messages_per_executor: int = 1,
+                             redo_seconds: list[float] | None = None) -> float:
         """Hierarchical aggregation of size-``m`` vectors to the driver.
 
         ``messages_per_executor`` > 1 models multiple waves of tasks per
         executor, each shipping its own vector (Section V-C).
+        ``redo_seconds[i]`` is the cost for executor ``i`` to recompute
+        its vector after a crash (the in-memory gradient/model dies with
+        the executor); the driver fan-in starts late by the recovery
+        delay of the slowest failed sender.
         """
         timing = self.tree.timing(self.cluster, model_size,
                                   messages_per_executor)
+        net_slow = self._net_slowdown(step)
         start = self.now
-        send = self.cluster.network.transfer_seconds(model_size)
+        send = self.cluster.network.transfer_seconds(model_size) * net_slow
 
-        level1_end = start + timing.aggregator_seconds
+        level1_end = start + timing.aggregator_seconds * net_slow
         aggregators = set(timing.groups)
+        delay = 0.0
+        finish_times: list[float] = []
         for i in range(self.num_executors):
             label = executor_label(i)
-            if i in aggregators and timing.groups:
-                self.trace.add(label, start, level1_end, "aggregate", step)
+            is_aggregator = i in aggregators and bool(timing.groups)
+            if is_aggregator:
+                segments = [(level1_end - start, "aggregate")]
             else:
-                self.trace.add(label, start, start + send, "send", step)
-                self._wait_fill(label, start + send, level1_end, step)
+                segments = [(send, "send")]
+            if self.faults.enabled:
+                redo = ([] if redo_seconds is None
+                        else [(redo_seconds[i], "compute")])
+                end = self._attempt_run(i, start, segments,
+                                        redo + segments, step, "aggregate")
+                delay = max(delay, end - (start + segments[0][0]))
+            else:
+                end = start + segments[0][0]
+                self.trace.add(label, start, end, segments[0][1], step)
+            finish_times.append(end)
+            if not is_aggregator:
+                self._wait_fill(label, end, level1_end, step)
 
-        driver_end = level1_end + timing.driver_seconds
-        self.trace.add(DRIVER_LABEL, level1_end, driver_end, "aggregate", step)
+        driver_start = level1_end + delay
+        driver_end = driver_start + timing.driver_seconds * net_slow
+        self.trace.add(DRIVER_LABEL, driver_start, driver_end,
+                       "aggregate", step)
         for i in range(self.num_executors):
-            self._wait_fill(executor_label(i), level1_end, driver_end, step)
+            busy_until = (max(level1_end, finish_times[i])
+                          if self.faults.enabled else level1_end)
+            self._wait_fill(executor_label(i), busy_until, driver_end, step)
         self.now = driver_end
         return driver_end - start
 
@@ -147,7 +302,8 @@ class BspEngine:
 
     def broadcast_phase(self, model_size: int, step: int) -> float:
         """Driver ships the size-``m`` model to all executors."""
-        duration = self.broadcast.seconds(self.cluster, model_size)
+        duration = (self.broadcast.seconds(self.cluster, model_size)
+                    * self._net_slowdown(step))
         start = self.now
         end = start + duration
         if duration > 0:
@@ -168,31 +324,61 @@ class BspEngine:
     # ------------------------------------------------------------------
     # MLlib* shuffle-based collective phases
     # ------------------------------------------------------------------
-    def _all_to_all_phase(self, model_size: int, step: int, kind: str,
-                          combine_coords: float) -> float:
+    def _all_to_all_phase(self, model_size: int, step: int, phase: str,
+                          combine_coords: float,
+                          redo_seconds: list[float] | None = None) -> float:
         """One shuffle round: every executor exchanges model pieces.
 
         Each executor sends ``k - 1`` messages of ``m / k`` coordinates on
         its own uplink (concurrently with its peers) and then optionally
         combines received pieces (``combine_coords`` dense coordinate ops,
         straggler-free since it is tiny).
+
+        A crash here is the costly AllReduce failure mode: the owner's
+        received pieces die with it, so recovery redoes the owner's local
+        work (``redo_seconds``), then **all peers re-send their pieces**
+        — a ``k - 1`` serialized fan-in into the recovered node — before
+        the combine is redone.  The closing barrier stalls every peer
+        until the owner catches up.
         """
         k = self.num_executors
+        if model_size < k:
+            raise ValueError(
+                f"cannot run {phase} with a model of size {model_size} "
+                f"across {k} executors: each owner needs at least one "
+                "coordinate (num_executors > model_size)")
         piece = model_size / k
-        send_seconds = self.shuffle.round_seconds(self.cluster, k - 1, piece)
+        net_slow = self._net_slowdown(step)
+        send_seconds = (self.shuffle.round_seconds(self.cluster, k - 1, piece)
+                        * net_slow)
         start = self.now
         finish: list[float] = []
         for i in range(k):
             label = executor_label(i)
             node = self.cluster.executors[i]
-            end = start + send_seconds
-            if send_seconds > 0:
-                self.trace.add(label, start, end, "send", step)
-            if combine_coords > 0:
-                combine = self.cluster.compute.dense_op_seconds(
-                    combine_coords, node)
-                self.trace.add(label, end, end + combine, "aggregate", step)
-                end += combine
+            combine = (self.cluster.compute.dense_op_seconds(
+                combine_coords, node) if combine_coords > 0 else 0.0)
+            if self.faults.enabled:
+                segments: _Segments = [(send_seconds, "send")]
+                if combine > 0:
+                    segments.append((combine, "aggregate"))
+                refill = (self.cluster.network.fan_in_seconds(k - 1, piece)
+                          * net_slow)
+                retry: _Segments = ([] if redo_seconds is None
+                                    else [(redo_seconds[i], "compute")])
+                retry = retry + [(refill, "recv")]
+                if combine > 0:
+                    retry.append((combine, "aggregate"))
+                end = self._attempt_run(i, start, segments, retry, step,
+                                        phase)
+            else:
+                end = start + send_seconds
+                if send_seconds > 0:
+                    self.trace.add(label, start, end, "send", step)
+                if combine > 0:
+                    self.trace.add(label, end, end + combine, "aggregate",
+                                   step)
+                    end += combine
             finish.append(end)
         barrier = max(finish, default=start)
         for i, end in enumerate(finish):
@@ -201,12 +387,37 @@ class BspEngine:
         self.now = barrier
         return barrier - start
 
-    def reduce_scatter_phase(self, model_size: int, step: int) -> float:
+    def reduce_scatter_phase(self, model_size: int, step: int,
+                             redo_seconds: list[float] | None = None) -> float:
         """MLlib* phase 1: route partitions to owners and average them."""
         k = self.num_executors
         combine = model_size / k * k  # owner sums k pieces of its partition
-        return self._all_to_all_phase(model_size, step, "send", combine)
+        return self._all_to_all_phase(model_size, step, "reduce_scatter",
+                                      combine, redo_seconds)
 
-    def all_gather_phase(self, model_size: int, step: int) -> float:
+    def all_gather_phase(self, model_size: int, step: int,
+                         redo_seconds: list[float] | None = None) -> float:
         """MLlib* phase 2: owners broadcast their averaged partition."""
-        return self._all_to_all_phase(model_size, step, "send", 0.0)
+        return self._all_to_all_phase(model_size, step, "all_gather", 0.0,
+                                      redo_seconds)
+
+    # ------------------------------------------------------------------
+    def checkpoint_phase(self, model_size: int, step: int) -> float:
+        """Every executor writes its recovery state to stable storage.
+
+        Priced as one size-``m`` transfer per executor (concurrent on
+        their own links).  Future crash restores read the checkpoint back
+        at the same cost instead of recomputing lineage.
+        """
+        duration = (self.cluster.network.transfer_seconds(model_size)
+                    * self._net_slowdown(step))
+        start = self.now
+        end = start + duration
+        if duration > 0:
+            for i in range(self.num_executors):
+                self.trace.add(executor_label(i), start, end, "checkpoint",
+                               step)
+            self._wait_fill(DRIVER_LABEL, start, end, step)
+        self._restore_seconds = duration
+        self.now = end
+        return duration

@@ -8,14 +8,15 @@ from .export import (history_to_rows, write_histories_json,
 from .gantt import KIND_CHARS, GanttSummary, render_ascii, summarize
 from .history import HistoryPoint, TrainingHistory
 from .plots import CURVE_GLYPHS, render_curves
-from .reporting import format_speedup, format_table
+from .reporting import (RecoveryReport, format_speedup, format_table,
+                        recovery_report)
 
 __all__ = [
     "TrainingHistory", "HistoryPoint",
     "ACCURACY_LOSS", "convergence_threshold", "ConvergenceResult",
     "evaluate_convergence", "speedup",
     "GanttSummary", "summarize", "render_ascii", "KIND_CHARS",
-    "format_table", "format_speedup",
+    "format_table", "format_speedup", "RecoveryReport", "recovery_report",
     "history_to_rows", "write_history_csv", "write_histories_json",
     "write_trace_csv",
     "render_curves", "CURVE_GLYPHS",

@@ -24,6 +24,8 @@ KIND_CHARS = {
     "wait": ".",
     "update": "U",
     "barrier": "|",
+    "recovery": "X",
+    "checkpoint": "K",
 }
 
 

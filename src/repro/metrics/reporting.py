@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-__all__ = ["format_table", "format_speedup"]
+from dataclasses import dataclass
+
+__all__ = ["format_table", "format_speedup", "RecoveryReport",
+           "recovery_report"]
 
 
 def format_table(headers: list[str], rows: list[list[object]],
@@ -43,3 +46,40 @@ def format_speedup(value: float | None) -> str:
     if value is None:
         return "n/c"
     return f"{value:.3g}x"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Per-system fault-recovery accounting for one training run."""
+
+    system: str
+    num_failures: int
+    recovery_seconds: float
+    total_seconds: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of the makespan spent in recovery downtime."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.recovery_seconds / self.total_seconds
+
+    def row(self) -> list[object]:
+        return [self.system, self.num_failures,
+                round(self.recovery_seconds, 4),
+                round(self.total_seconds, 4),
+                f"{self.overhead_fraction:.1%}"]
+
+
+def recovery_report(result) -> RecoveryReport:
+    """Summarize the fault-recovery cost of a ``TrainResult``.
+
+    Pairs with ``format_table(["system", "failures", "recovery s",
+    "total s", "overhead"], [r.row() for r in reports])`` in the
+    fault-recovery bench.
+    """
+    return RecoveryReport(
+        system=result.history.system,
+        num_failures=len(result.failures),
+        recovery_seconds=result.recovery_seconds,
+        total_seconds=result.history.total_seconds)

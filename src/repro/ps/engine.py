@@ -25,6 +25,8 @@ driver bottleneck — parameter servers generalize between the two.
 from __future__ import annotations
 
 from ..cluster import ClusterSpec, Trace
+from ..cluster.faults import (FailureModel, FailureRecord, NoFailures,
+                              RecoveryError, RecoveryPolicy)
 from .consistency import BSP, Controller
 
 __all__ = ["PsEngine", "worker_label"]
@@ -50,7 +52,9 @@ class PsEngine:
     """
 
     def __init__(self, cluster: ClusterSpec, num_servers: int | None = None,
-                 controller: Controller | None = None) -> None:
+                 controller: Controller | None = None,
+                 faults: FailureModel | None = None,
+                 recovery: RecoveryPolicy | None = None) -> None:
         if cluster.num_executors < 1:
             raise ValueError("PS engine needs at least one worker")
         self.cluster = cluster
@@ -60,13 +64,80 @@ class PsEngine:
         if self.num_servers < 1:
             raise ValueError("need at least one server shard")
         self.controller = controller if controller is not None else BSP()
+        self.faults = faults if faults is not None else NoFailures()
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        #: Materialized crashes, in simulated-time order.
+        self.failures: list[FailureRecord] = []
         self.trace = Trace()
         #: finish_times[r][t] — when worker r finished logical step t.
         self._finish_times: list[list[float]] = [
             [] for _ in range(self.num_workers)]
         self._steps_run = 0
         self.now = 0.0
+        #: Per-worker lineage-recompute cost for a lost cached partition.
+        self._reload_seconds = [0.0] * self.num_workers
+        #: Cost of restoring from the latest checkpoint (None until one
+        #: has been written).
+        self._restore_seconds: float | None = None
         cluster.reset_rng()
+
+    # ------------------------------------------------------------------
+    def set_recovery_costs(self, reload_seconds: list[float]) -> None:
+        """Install the per-worker lineage-recompute cost used on crashes."""
+        if len(reload_seconds) != self.num_workers:
+            raise ValueError(
+                f"expected {self.num_workers} reload costs, "
+                f"got {len(reload_seconds)}")
+        if any(s < 0 for s in reload_seconds):
+            raise ValueError("reload seconds must be non-negative")
+        self._reload_seconds = [float(s) for s in reload_seconds]
+
+    def _restore_cost(self, worker: int) -> float:
+        """Downtime of one recovery: restart + (checkpoint read | lineage)."""
+        base = self.recovery.restart_seconds
+        if (self.recovery.strategy == "checkpoint"
+                and self._restore_seconds is not None):
+            return base + self._restore_seconds
+        return base + self._reload_seconds[worker]
+
+    def _run_work_attempts(self, worker: int, start: float, work: float,
+                           step: int) -> float:
+        """One worker's compute with crash/retry handling (PS timeline).
+
+        Unlike BSP, a crashed PS worker stalls only itself: peers keep
+        running and the consistency controller decides how far they may
+        advance before waiting on the laggard.
+        """
+        label = worker_label(worker)
+        t = start
+        attempt = 0
+        while True:
+            # Failure steps are 1-based everywhere; PS counts from 0.
+            event = self.faults.crash_event(step + 1, "compute", worker,
+                                            attempt)
+            if event is None:
+                if work > 0:
+                    self.trace.add(label, t, t + work, "compute", step)
+                return t + work
+            crash_at = t + work * event.at_fraction
+            if crash_at > t:
+                self.trace.add(label, t, crash_at, "compute", step)
+            # The record's step matches the trace's numbering (internal,
+            # 0-based) so trace invariants can join spans to records.
+            self.failures.append(FailureRecord(
+                node=label, step=step, phase="compute", time=crash_at,
+                attempt=attempt))
+            if attempt >= self.recovery.max_retries:
+                raise RecoveryError(
+                    f"{label} crashed in step {step + 1} on attempt "
+                    f"{attempt + 1}, exhausting the retry budget "
+                    f"(max_retries={self.recovery.max_retries})")
+            downtime = self._restore_cost(worker)
+            if downtime > 0:
+                self.trace.add(label, crash_at, crash_at + downtime,
+                               "recovery", step)
+            t = crash_at + downtime
+            attempt += 1
 
     # ------------------------------------------------------------------
     def comm_seconds(self, model_size: int) -> float:
@@ -97,6 +168,8 @@ class PsEngine:
 
         t = self._steps_run
         comm = self.comm_seconds(model_size)
+        if self.faults.enabled:
+            comm *= self.faults.network_slowdown(t + 1)
         finishes: list[float] = []
         for r in range(self.num_workers):
             own_ready = self._finish_times[r][-1] if self._finish_times[r] else 0.0
@@ -112,9 +185,12 @@ class PsEngine:
                 raise ValueError("durations must be non-negative")
             work = (compute_seconds[r] * self.cluster.slowdown(node, t)
                     + overheads[r])
-            if work > 0:
-                self.trace.add(label, start, start + work, "compute", t)
-            push_start = start + work
+            if self.faults.enabled:
+                push_start = self._run_work_attempts(r, start, work, t)
+            else:
+                if work > 0:
+                    self.trace.add(label, start, start + work, "compute", t)
+                push_start = start + work
             if comm > 0:
                 self.trace.add(label, push_start, push_start + comm,
                                "send", t)
@@ -126,3 +202,28 @@ class PsEngine:
         step_ready = max(finishes)
         self.now = max(self.now, step_ready)
         return step_ready
+
+    # ------------------------------------------------------------------
+    def checkpoint_phase(self, model_size: int, step: int) -> float:
+        """Every worker writes its recovery state to stable storage.
+
+        Appended to each worker's own timeline (PS workers share no
+        barrier); future crash restores read the checkpoint back at the
+        same cost instead of recomputing lineage.
+        """
+        duration = self.cluster.network.transfer_seconds(model_size)
+        if self.faults.enabled:
+            duration *= self.faults.network_slowdown(step)
+        t = max(0, self._steps_run - 1)
+        for r in range(self.num_workers):
+            last = (self._finish_times[r][-1]
+                    if self._finish_times[r] else 0.0)
+            if duration > 0:
+                self.trace.add(worker_label(r), last, last + duration,
+                               "checkpoint", t)
+            if self._finish_times[r]:
+                self._finish_times[r][-1] = last + duration
+        self._restore_seconds = duration
+        self.now = max(self.now, max(
+            (ft[-1] for ft in self._finish_times if ft), default=self.now))
+        return duration

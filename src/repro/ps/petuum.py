@@ -54,7 +54,9 @@ class PetuumTrainer(DistributedTrainer):
     # ------------------------------------------------------------------
     def _prepare(self, data: PartitionedDataset) -> None:
         self._engine = PsEngine(self.cluster, num_servers=self._num_servers,
-                                controller=self._controller)
+                                controller=self._controller,
+                                faults=self.faults, recovery=self.recovery)
+        self._install_recovery_costs(self._engine, data)
         self._rngs = self._worker_rngs(data.num_partitions)
         self._server = ParameterServer(
             model_size=data.n_features,

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import ClusterSpec, cluster1
+from repro.core import TrainerConfig
 from repro.data import SparseDataset, SyntheticSpec, generate
 from repro.glm import Objective
 
@@ -59,3 +60,66 @@ def hinge_l2_objective() -> Objective:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(42)
+
+
+# ----------------------------------------------------------------------
+# fault-injection harness
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fault_config():
+    """Factory for configs carrying a scripted failure schedule.
+
+    ``fault_config("3@2")`` returns a small deterministic training config
+    in which executor 3 crashes at step 2; keyword overrides pass through
+    to :class:`TrainerConfig`.
+    """
+    def make(schedule: str | None = None, **overrides) -> TrainerConfig:
+        base = dict(max_steps=4, learning_rate=0.3, lr_schedule="inv_sqrt",
+                    batch_fraction=0.25, local_chunk_size=16, seed=3,
+                    failure_schedule=schedule)
+        base.update(overrides)
+        return TrainerConfig(**base)
+    return make
+
+
+def assert_fault_trace_invariants(result) -> None:
+    """The contract every faulty (or fault-free) run must satisfy.
+
+    * spans on one node never overlap and time never runs backwards
+      (monotone per-node clock);
+    * every ``recovery`` span in the trace starts exactly at a logged
+      :class:`FailureRecord` on the same node, step and phase — no
+      recovery without a crash;
+    * every logged crash that was retried (attempt allowed) has a
+      recovery span starting at its crash time.
+    """
+    trace, failures = result.trace, result.failures
+    for node in trace.nodes():
+        spans = sorted(trace.spans_for(node),
+                       key=lambda s: (s.start, s.end))
+        for a, b in zip(spans, spans[1:]):
+            assert a.end <= b.start + 1e-9, (
+                f"overlapping spans on {node}: {a} then {b}")
+    crashes = {(f.node, f.step, round(f.time, 9)) for f in failures}
+    for span in trace.spans:
+        if span.kind != "recovery":
+            continue
+        key = (span.node, span.step, round(span.start, 9))
+        assert key in crashes, (
+            f"recovery span without a matching failure record: {span}")
+    for record in failures:
+        recoveries = [s for s in trace.spans_for(record.node)
+                      if s.kind == "recovery" and s.step == record.step
+                      and abs(s.start - record.time) < 1e-9]
+        if not recoveries:
+            # Legal only for the final, budget-exhausting crash (which
+            # raises instead of recovering) or a zero-downtime policy.
+            assert record is failures[-1] or (
+                result.trace.recovery_seconds(record.node) == 0.0), (
+                f"crash without a recovery span: {record}")
+
+
+@pytest.fixture
+def check_fault_trace():
+    """Expose the trace-invariant assertion helper as a fixture."""
+    return assert_fault_trace_invariants

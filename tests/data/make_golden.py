@@ -1,0 +1,78 @@
+"""Regenerate tests/data/golden_convergence.json.
+
+Run from the repo root with the *known-good* tree checked out::
+
+    PYTHONPATH=src python tests/data/make_golden.py
+
+The stored values pin the exact numerics and simulated clocks of a tiny
+fixed-seed run per system; the golden regression test compares fresh runs
+against them so perf/refactor PRs cannot silently change either.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster import cluster1
+from repro.core import (MLlibModelAveragingTrainer, MLlibStarTrainer,
+                        MLlibTrainer, SparkMlStarTrainer, SparkMlTrainer,
+                        TrainerConfig)
+from repro.data import SyntheticSpec, generate
+from repro.glm import Objective
+from repro.ps import (AngelTrainer, AsyncSgdTrainer, PetuumStarTrainer,
+                      PetuumTrainer)
+
+GOLDEN_PATH = Path(__file__).parent / "golden_convergence.json"
+
+#: Systems pinned by the golden test.  spark.ml / spark.ml* use squared
+#: loss (L-BFGS needs a smooth objective); everything else runs the
+#: paper's hinge + L2 workload.
+SYSTEMS = {
+    "MLlib": (MLlibTrainer, "hinge"),
+    "MLlib+MA": (MLlibModelAveragingTrainer, "hinge"),
+    "MLlib*": (MLlibStarTrainer, "hinge"),
+    "Petuum": (PetuumTrainer, "hinge"),
+    "Petuum*": (PetuumStarTrainer, "hinge"),
+    "Angel": (AngelTrainer, "hinge"),
+    "ASGD": (AsyncSgdTrainer, "hinge"),
+    "spark.ml": (SparkMlTrainer, "squared"),
+    "spark.ml*": (SparkMlStarTrainer, "squared"),
+}
+
+
+def golden_workload():
+    dataset = generate(SyntheticSpec(n_rows=400, n_features=48,
+                                     nnz_per_row=8.0, noise=0.02, seed=17),
+                       name="golden")
+    cluster = cluster1(executors=4)
+    config = TrainerConfig(max_steps=5, learning_rate=0.3,
+                           lr_schedule="inv_sqrt", batch_fraction=0.25,
+                           local_chunk_size=16, seed=3)
+    return dataset, cluster, config
+
+
+def run_system(name: str):
+    trainer_cls, loss = SYSTEMS[name]
+    dataset, cluster, config = golden_workload()
+    objective = Objective(loss, "l2", 0.1)
+    result = trainer_cls(objective, cluster, config).fit(dataset)
+    return {
+        "final_objective": result.final_objective,
+        "total_seconds": result.history.total_seconds,
+        "total_steps": result.history.total_steps,
+    }
+
+
+def main() -> None:
+    golden = {name: run_system(name) for name in SYSTEMS}
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for name, vals in golden.items():
+        print(f"  {name:10s} f={vals['final_objective']:.12g} "
+              f"t={vals['total_seconds']:.12g}")
+
+
+if __name__ == "__main__":
+    main()

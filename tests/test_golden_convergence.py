@@ -1,0 +1,59 @@
+"""Golden convergence regression: pinned numerics and simulated clocks.
+
+``tests/data/golden_convergence.json`` stores the final objective,
+simulated makespan and step count of one tiny fixed-seed run per system,
+captured from the pre-fault-injection tree.  These tests re-run the same
+workloads and compare: with fault injection **disabled** (the default),
+every trainer must reproduce the pinned values — the failure-aware code
+paths cannot perturb failure-free behaviour.
+
+If a PR changes these numbers *intentionally* (new cost model, different
+update order), regenerate the file with::
+
+    PYTHONPATH=src python tests/data/make_golden.py
+
+and say so in the PR description.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from data.make_golden import SYSTEMS, run_system
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_convergence.json"
+
+#: Tolerances are relative and tight: identical code must match to within
+#: BLAS reduction-order noise across platforms; any algorithmic change
+#: lands far outside them.
+REL_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_system_matches_golden(system, golden):
+    assert system in golden, (
+        f"{system} missing from golden_convergence.json — regenerate with "
+        "PYTHONPATH=src python tests/data/make_golden.py")
+    fresh = run_system(system)
+    pinned = golden[system]
+    assert fresh["total_steps"] == pinned["total_steps"]
+    assert fresh["final_objective"] == pytest.approx(
+        pinned["final_objective"], rel=REL_TOL), (
+        f"{system}: final objective drifted from the golden value — "
+        "failure-free numerics must be bit-stable")
+    assert fresh["total_seconds"] == pytest.approx(
+        pinned["total_seconds"], rel=REL_TOL), (
+        f"{system}: simulated makespan drifted from the golden value — "
+        "the default (faults-off) timing path must be unchanged")
+
+
+def test_golden_file_covers_every_system(golden):
+    assert sorted(golden) == sorted(SYSTEMS)

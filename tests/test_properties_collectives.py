@@ -1,0 +1,138 @@
+"""Property-based tests for the AllReduce collectives (hypothesis).
+
+Three families of invariants:
+
+* **Correctness** — ``all_reduce_average`` equals ``np.mean`` exactly for
+  any worker count and model size, including the degenerate single-worker
+  and one-coordinate-per-owner cases.
+* **Traffic** — the paper's ``2 k m`` figure: one AllReduce moves exactly
+  ``2 (k - 1) m`` values regardless of how the coordinates are split, and
+  the split itself covers the model with sizes differing by at most one.
+* **Recovery** — a failed-then-recovered owner whose peers re-send their
+  pieces recombines its partition to exactly the value of the original,
+  failure-free run (the redo path is deterministic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (all_gather, all_reduce_average,
+                               partition_slices, reduce_scatter,
+                               traffic_values)
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@st.composite
+def worker_models(draw, min_workers=1, max_workers=10):
+    """k local models of a common size m >= k (valid AllReduce input)."""
+    k = draw(st.integers(min_value=min_workers, max_value=max_workers))
+    m = draw(st.integers(min_value=k, max_value=96))
+    models = [
+        np.array(draw(st.lists(finite_floats, min_size=m, max_size=m)))
+        for _ in range(k)
+    ]
+    return models
+
+
+class TestAllReduceEqualsMean:
+    @given(models=worker_models())
+    @settings(max_examples=60, deadline=None)
+    def test_equals_numpy_mean(self, models):
+        got = all_reduce_average(models)
+        np.testing.assert_allclose(got, np.mean(models, axis=0),
+                                   atol=1e-9, rtol=1e-12)
+
+    @given(models=worker_models(min_workers=2))
+    @settings(max_examples=30, deadline=None)
+    def test_every_owner_slice_matches_mean(self, models):
+        """Each owner's combined partition is the mean restricted to its
+        slice — the intermediate state is already correct per-owner."""
+        k, m = len(models), models[0].shape[0]
+        partitions = reduce_scatter(models, combine="average")
+        mean = np.mean(models, axis=0)
+        for owner, sl in enumerate(partition_slices(m, k)):
+            np.testing.assert_allclose(partitions[owner], mean[sl],
+                                       atol=1e-9)
+
+
+class TestTrafficInvariant:
+    @given(k=st.integers(min_value=1, max_value=64),
+           m=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_two_k_m(self, k, m):
+        assert traffic_values(m, k) == 2.0 * (k - 1) * m
+
+    @given(k=st.integers(min_value=1, max_value=64),
+           m=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_slices_partition_the_model(self, k, m):
+        if m < k:
+            # More owners than coordinates: a clear error, not an empty
+            # slice (the num_executors > model_size regression).
+            with pytest.raises(ValueError, match="cannot be split"):
+                partition_slices(m, k)
+            return
+        slices = partition_slices(m, k)
+        assert len(slices) == k
+        assert slices[0].start == 0 and slices[-1].stop == m
+        sizes = [s.stop - s.start for s in slices]
+        assert all(size >= 1 for size in sizes)
+        assert max(sizes) - min(sizes) <= 1
+        for a, b in zip(slices, slices[1:]):
+            assert a.stop == b.start
+
+    @given(models=worker_models(min_workers=2))
+    @settings(max_examples=30, deadline=None)
+    def test_measured_traffic_matches_formula(self, models):
+        """Count the values actually crossing worker boundaries in both
+        phases; they must equal ``traffic_values`` exactly."""
+        k, m = len(models), models[0].shape[0]
+        slices = partition_slices(m, k)
+        sizes = [s.stop - s.start for s in slices]
+        # Phase 1: worker r ships every non-owned slice of its model.
+        phase1 = sum(sizes[owner] for r in range(k)
+                     for owner in range(k) if owner != r)
+        # Phase 2: owner o ships its combined slice to every peer.
+        phase2 = sum(sizes[owner] * (k - 1) for owner in range(k))
+        assert phase1 + phase2 == traffic_values(m, k)
+
+
+class TestFailedOwnerRecovery:
+    @given(models=worker_models(min_workers=2),
+           data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_recovered_owner_recombines_identically(self, models, data):
+        """Crash an owner after reduce_scatter, have every peer re-send
+        its piece, recombine — the result is bit-identical to the
+        failure-free partition, and the final AllGather to the mean."""
+        k, m = len(models), models[0].shape[0]
+        failed = data.draw(st.integers(min_value=0, max_value=k - 1),
+                           label="failed owner")
+        reference = reduce_scatter(models, combine="average")
+
+        partitions = reduce_scatter(models, combine="average")
+        # The crash: the owner's combined partition and received pieces
+        # are gone.  Peers re-send slice `failed` of their local models
+        # (deterministic redo of the same inputs).
+        sl = partition_slices(m, k)[failed]
+        resent = [model[sl] for model in models]
+        partitions[failed] = np.vstack(resent).sum(axis=0) / k
+
+        np.testing.assert_array_equal(partitions[failed],
+                                      reference[failed])
+        np.testing.assert_allclose(
+            all_gather(partitions, m), np.mean(models, axis=0), atol=1e-9)
+
+    @given(models=worker_models(min_workers=2))
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_deterministic_across_repeats(self, models):
+        """Re-running the collective (the recovery redo) cannot change the
+        answer: two evaluations are bit-identical."""
+        first = all_reduce_average(models)
+        second = all_reduce_average([m.copy() for m in models])
+        np.testing.assert_array_equal(first, second)
