@@ -1,0 +1,34 @@
+"""Static analysis + runtime sanitizer guarding reproducibility invariants.
+
+Two complementary layers (see ``docs/static_analysis.md``):
+
+* the **determinism linter** — an AST rule engine
+  (:func:`~repro.analysis.engine.run_analysis`,
+  ``python -m repro.analysis``) with rules DET001/DET002/PURE001/CFG001
+  and per-line ``# repro: noqa[RULE]`` suppressions;
+* the **barrier sanitizer** — ``--sanitize`` runtime checks
+  (:class:`~repro.analysis.sanitizer.BarrierSanitizer`) that freeze
+  broadcast model arrays at superstep boundaries and digest-check that
+  replicas stay bit-identical.
+"""
+
+from .engine import (AnalysisResult, SourceFile, collect_files, load_source,
+                     parse_noqa, run_analysis)
+from .reporters import render_json, render_text
+from .rules import (ALL_RULES, AmbientNondeterminism, ConfigReachability,
+                    ImpureCostModel, ProjectRule, Rule, UnorderedIteration,
+                    rule_registry)
+from .sanitizer import (BarrierSanitizer, ReplicaDivergenceError,
+                        SanitizerError, check_replicas, freeze_array,
+                        model_digest)
+from .violations import PARSE_RULE_ID, Violation
+
+__all__ = [
+    "AnalysisResult", "SourceFile", "collect_files", "load_source",
+    "parse_noqa", "run_analysis", "render_json", "render_text",
+    "ALL_RULES", "AmbientNondeterminism", "ConfigReachability",
+    "ImpureCostModel", "ProjectRule", "Rule", "UnorderedIteration",
+    "rule_registry", "BarrierSanitizer", "ReplicaDivergenceError",
+    "SanitizerError", "check_replicas", "freeze_array", "model_digest",
+    "PARSE_RULE_ID", "Violation",
+]

@@ -1,0 +1,175 @@
+"""The lint driver: file collection, parsing, suppression, rule dispatch.
+
+:func:`run_analysis` is the single entry point used by the CLI, the CI
+gate, and the tests.  It walks the given paths, parses every ``*.py``
+file once, applies the selected rules, and filters diagnostics through
+per-line ``# repro: noqa[RULE]`` suppressions:
+
+* ``# repro: noqa`` — suppress every rule on this line;
+* ``# repro: noqa[DET001]`` — suppress one rule;
+* ``# repro: noqa[DET001,PURE001]`` — suppress several.
+
+Suppressions are matched against the *first physical line* of the
+flagged statement, the same convention flake8/ruff use.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .rules import ALL_RULES, ProjectRule, Rule, rule_registry
+from .violations import PARSE_RULE_ID, Violation
+
+__all__ = ["SourceFile", "AnalysisResult", "run_analysis", "collect_files",
+           "load_source", "parse_noqa"]
+
+#: ``# repro: noqa`` with an optional bracketed rule list.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[\s*(?P<rules>[A-Za-z0-9_,\s]*?)\s*\])?")
+
+#: Sentinel for "all rules suppressed on this line".
+_ALL = frozenset({"*"})
+
+
+@dataclass
+class SourceFile:
+    """One parsed file plus its suppression map."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    #: line number -> rule ids suppressed there ({"*"} = every rule).
+    noqa: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        rules = self.noqa.get(line)
+        if rules is None:
+            return False
+        return rules is _ALL or "*" in rules or rule in rules
+
+
+def parse_noqa(text: str) -> dict[int, frozenset[str]]:
+    """Extract the per-line suppression map from source text."""
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = _ALL
+        else:
+            ids = frozenset(r.strip() for r in rules.split(",") if r.strip())
+            suppressions[lineno] = ids if ids else _ALL
+    return suppressions
+
+
+def load_source(path: Path) -> SourceFile | Violation:
+    """Parse one file; returns a :data:`PARSE_RULE_ID` violation on
+    syntax errors instead of raising."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return Violation(path=path, line=exc.lineno or 1,
+                         col=(exc.offset or 1), rule=PARSE_RULE_ID,
+                         message=f"file does not parse: {exc.msg}")
+    return SourceFile(path=path, text=text, tree=tree,
+                      noqa=parse_noqa(text))
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand directories to sorted ``*.py`` file lists."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(p for p in path.rglob("*.py")
+                                if p.is_file()))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one lint run produced."""
+
+    violations: list[Violation]
+    suppressed: list[Violation]
+    files_checked: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _select_rules(select: Sequence[str] | None,
+                  ignore: Sequence[str] | None) -> list[Rule]:
+    registry = rule_registry()
+    if select:
+        unknown = [r for r in select if r not in registry]
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(unknown)}; "
+                           f"known: {', '.join(sorted(registry))}")
+        chosen = [registry[r] for r in select]
+    else:
+        chosen = list(ALL_RULES)
+    if ignore:
+        unknown = [r for r in ignore if r not in registry]
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(unknown)}; "
+                           f"known: {', '.join(sorted(registry))}")
+        chosen = [rule for rule in chosen if rule.id not in set(ignore)]
+    return chosen
+
+
+def run_analysis(paths: Iterable[Path | str],
+                 select: Sequence[str] | None = None,
+                 ignore: Sequence[str] | None = None) -> AnalysisResult:
+    """Lint ``paths`` with the selected rules; see the module docstring."""
+    rules = _select_rules(select, ignore)
+    files: list[SourceFile] = []
+    raw: list[Violation] = []
+    for path in collect_files(Path(p) for p in paths):
+        loaded = load_source(path)
+        if isinstance(loaded, Violation):
+            raw.append(loaded)
+            continue
+        files.append(loaded)
+
+    by_path = {src.path: src for src in files}
+    for src in files:
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            if rule.applies_to(src.path):
+                raw.extend(rule.check(src))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(files))
+
+    kept: list[Violation] = []
+    suppressed: list[Violation] = []
+    for violation in raw:
+        src = by_path.get(violation.path)
+        if (src is not None and violation.rule != PARSE_RULE_ID
+                and src.suppresses(violation.line, violation.rule)):
+            suppressed.append(violation)
+        else:
+            kept.append(violation)
+    kept.sort()
+    suppressed.sort()
+    return AnalysisResult(violations=kept, suppressed=suppressed,
+                          files_checked=len(files),
+                          rules_run=tuple(rule.id for rule in rules))

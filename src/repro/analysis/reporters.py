@@ -1,0 +1,45 @@
+"""Render an :class:`~repro.analysis.engine.AnalysisResult` for humans/CI.
+
+Two formats:
+
+* ``text`` — one ``path:line:col: RULE message`` diagnostic per line plus
+  a one-line summary (what CI prints on failure);
+* ``json`` — a machine-readable document with the full violation list,
+  suppression count, and per-rule totals (for dashboards or tooling).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import AnalysisResult
+
+__all__ = ["render_text", "render_json", "REPORTERS"]
+
+
+def render_text(result: AnalysisResult) -> str:
+    lines = [violation.format() for violation in result.violations]
+    noun = "violation" if len(result.violations) == 1 else "violations"
+    summary = (f"{len(result.violations)} {noun} "
+               f"({len(result.suppressed)} suppressed) in "
+               f"{result.files_checked} files "
+               f"[rules: {', '.join(result.rules_run)}]")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    per_rule = Counter(v.rule for v in result.violations)
+    document = {
+        "violations": [v.to_dict() for v in result.violations],
+        "suppressed": [v.to_dict() for v in result.suppressed],
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "counts_by_rule": dict(sorted(per_rule.items())),
+        "ok": result.ok,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

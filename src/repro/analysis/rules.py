@@ -1,0 +1,433 @@
+"""Lint rules tuned to this codebase's reproducibility invariants.
+
+The repo's central promise — same seed, same weights, bit-for-bit, no
+matter what faults or refactors happen — is only as strong as the code
+paths nobody happened to test.  These rules encode the invariants as
+static checks:
+
+* :class:`AmbientNondeterminism` (``DET001``) — no unseeded randomness or
+  wall-clock reads anywhere in ``src/repro``; all randomness must arrive
+  as a ``numpy.random.Generator`` parameter derived from a
+  ``SeedSequence`` (see ``DistributedTrainer._worker_rngs``).
+* :class:`UnorderedIteration` (``DET002``) — no iteration over ``set`` /
+  ``frozenset`` values on the aggregation paths (``engine/aggregation``,
+  ``collectives/``, ``ps/``): float addition is not associative, so a
+  hash-order dependent accumulation silently changes the numerics.
+* :class:`ImpureCostModel` (``PURE001``) — cost-model pricing methods
+  (``seconds``, ``*_seconds``, ``timing``) must not mutate state; pricing
+  a phase twice must cost the same both times.
+* :class:`ConfigReachability` (``CFG001``) — every ``TrainerConfig``
+  field must be reachable from the CLI (or explicitly allowlisted), so
+  new knobs cannot silently become dead code.
+
+Rules are pluggable: subclass :class:`Rule` (or :class:`ProjectRule` for
+cross-file checks), give it a unique ``id``, and add it to
+:data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import SourceFile
+
+__all__ = ["Rule", "ProjectRule", "ALL_RULES", "rule_registry",
+           "AmbientNondeterminism", "UnorderedIteration",
+           "ImpureCostModel", "ConfigReachability"]
+
+
+class Rule:
+    """A single-file lint rule.
+
+    Subclasses set ``id`` / ``summary`` and implement :meth:`check`;
+    :meth:`applies_to` narrows the rule to the files whose invariants it
+    guards.
+    """
+
+    id: str = "RULE000"
+    summary: str = ""
+
+    def applies_to(self, path: Path) -> bool:
+        return True
+
+    def check(self, src: "SourceFile") -> Iterator[Violation]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def violation(self, src: "SourceFile", node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(path=src.path, line=node.lineno,
+                         col=node.col_offset + 1, rule=self.id,
+                         message=message)
+
+
+class ProjectRule(Rule):
+    """A rule that needs to see every linted file at once (cross-file)."""
+
+    def check(self, src: "SourceFile") -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self,
+                      files: "list[SourceFile]") -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def _import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted module paths they were imported as.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime`` maps ``datetime -> datetime.datetime``; plain ``import
+    random`` maps ``random -> random``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never bind external modules
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}")
+    return aliases
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _resolve(dotted: str | None, aliases: dict[str, str]) -> str | None:
+    """Rewrite the first component of a dotted name through the imports."""
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head not in aliases:
+        return None  # a local variable, not an imported module
+    resolved = aliases[head]
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+def _attribute_root(node: ast.AST) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# ----------------------------------------------------------------------
+# DET001 — ambient nondeterminism
+# ----------------------------------------------------------------------
+class AmbientNondeterminism(Rule):
+    """No unseeded RNGs or wall-clock reads in ``src/repro``."""
+
+    id = "DET001"
+    summary = ("ambient nondeterminism: randomness must arrive as a "
+               "seeded numpy Generator parameter; wall-clock reads are "
+               "forbidden (the simulated clock is the only clock)")
+
+    #: Legacy global-state samplers on ``numpy.random`` (the module-level
+    #: RandomState, shared and order-dependent).
+    LEGACY_NP_RANDOM = frozenset({
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+        "standard_normal", "beta", "binomial", "exponential", "poisson",
+        "get_state", "set_state", "bytes",
+    })
+    WALL_CLOCKS = frozenset({
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    })
+    AMBIENT_DATES = frozenset({
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+
+    def check(self, src: "SourceFile") -> Iterator[Violation]:
+        aliases = _import_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolve(_dotted_name(node.func), aliases)
+            if name is None:
+                continue
+            message = self._diagnose(name, node)
+            if message is not None:
+                yield self.violation(src, node, message)
+
+    def _diagnose(self, name: str, call: ast.Call) -> str | None:
+        if name == "random" or name.startswith("random."):
+            return (f"call to stdlib '{name}' uses the ambient global RNG; "
+                    "take a numpy Generator parameter spawned from a "
+                    "SeedSequence instead")
+        if name == "numpy.random.seed":
+            return ("numpy.random.seed mutates the global RNG; pass "
+                    "seeded Generators explicitly")
+        if name == "numpy.random.default_rng" and not (call.args
+                                                       or call.keywords):
+            return ("default_rng() without a seed is nondeterministic; "
+                    "derive the seed from config.seed via SeedSequence")
+        if name.startswith("numpy.random."):
+            attr = name.rsplit(".", 1)[1]
+            if attr in self.LEGACY_NP_RANDOM:
+                return (f"numpy.random.{attr} samples from the shared "
+                        "legacy RandomState; use a Generator parameter")
+        if name in self.WALL_CLOCKS:
+            return (f"'{name}' reads the wall clock; simulated time "
+                    "(engine.now) is the only clock allowed in repro")
+        if name in self.AMBIENT_DATES:
+            return (f"'{name}' is wall-clock dependent; thread timestamps "
+                    "in explicitly if they are needed")
+        return None
+
+
+# ----------------------------------------------------------------------
+# DET002 — unordered iteration on aggregation paths
+# ----------------------------------------------------------------------
+class UnorderedIteration(Rule):
+    """No iteration over sets where numeric accumulation happens."""
+
+    id = "DET002"
+    summary = ("iteration over set/frozenset on an aggregation path: "
+               "hash order is not a reduction order — float addition "
+               "does not commute bit-exactly; sort first")
+
+    def applies_to(self, path: Path) -> bool:
+        parts = path.parts
+        return ("collectives" in parts or "ps" in parts
+                or path.name == "aggregation.py")
+
+    def check(self, src: "SourceFile") -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_unordered(it):
+                    yield self.violation(
+                        src, it,
+                        "iterating a set here makes the reduction order "
+                        "hash-dependent; iterate a sorted() or list view "
+                        "instead")
+
+    @staticmethod
+    def _is_unordered(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+
+# ----------------------------------------------------------------------
+# PURE001 — cost-model pricing must be pure
+# ----------------------------------------------------------------------
+class ImpureCostModel(Rule):
+    """``seconds()`` / ``*_seconds()`` / ``timing()`` must not mutate."""
+
+    id = "PURE001"
+    summary = ("cost-model pricing methods must be pure: pricing the "
+               "same phase twice must return the same seconds")
+
+    MUTATORS = frozenset({
+        "append", "extend", "add", "update", "insert", "remove", "discard",
+        "pop", "popitem", "clear", "setdefault", "sort", "reverse",
+        "setflags", "fill",
+    })
+
+    @staticmethod
+    def _is_pricing_name(name: str) -> bool:
+        return (name in ("seconds", "timing")
+                or name.endswith("_seconds"))
+
+    def check(self, src: "SourceFile") -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not self._is_pricing_name(node.name):
+                continue
+            yield from self._check_body(src, node)
+
+    def _check_body(self, src: "SourceFile",
+                    func: ast.AST) -> Iterator[Violation]:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                yield self.violation(
+                    src, node, "pricing code must not rebind "
+                    f"{'/'.join(node.names)} outside its own scope")
+            elif isinstance(node, ast.Assign):
+                yield from self._check_targets(src, node, node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if node.target is not None:
+                    yield from self._check_targets(src, node, [node.target])
+            elif isinstance(node, ast.Call):
+                yield from self._check_mutator_call(src, node)
+
+    def _check_targets(self, src: "SourceFile", stmt: ast.AST,
+                       targets: Iterable[ast.AST]) -> Iterator[Violation]:
+        for target in targets:
+            for sub in ast.walk(target):
+                if (isinstance(sub, ast.Attribute)
+                        and _attribute_root(sub) == "self"):
+                    yield self.violation(
+                        src, stmt,
+                        f"assignment to self.{sub.attr} inside a pricing "
+                        "method mutates cost-model state")
+                    break
+
+    def _check_mutator_call(self, src: "SourceFile",
+                            call: ast.Call) -> Iterator[Violation]:
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in self.MUTATORS
+                and _attribute_root(func.value) == "self"):
+            yield self.violation(
+                src, call,
+                f".{func.attr}() on self state inside a pricing method "
+                "mutates cost-model state")
+
+
+# ----------------------------------------------------------------------
+# CFG001 — every TrainerConfig field reachable from the CLI
+# ----------------------------------------------------------------------
+class ConfigReachability(ProjectRule):
+    """Every ``TrainerConfig`` field must be settable from ``cli.py``."""
+
+    id = "CFG001"
+    summary = ("TrainerConfig fields must be reachable from the CLI or "
+               "explicitly allowlisted; unreachable knobs are dead "
+               "configuration")
+
+    CONFIG_CLASS = "TrainerConfig"
+    #: Fields exempt from CLI reachability (none today; prefer wiring new
+    #: fields into the CLI over growing this list).
+    ALLOWED: frozenset[str] = frozenset()
+
+    def check_project(self,
+                      files: "list[SourceFile]") -> Iterator[Violation]:
+        config_src = None
+        config_class = None
+        for src in files:
+            cls = self._find_config_class(src.tree)
+            if cls is not None:
+                config_src, config_class = src, cls
+                break
+        if config_src is None or config_class is None:
+            return
+        fields = self._dataclass_fields(config_class)
+        reachable = self._cli_reachable_names(files, config_src.path)
+        if reachable is None:
+            return  # no CLI module found anywhere; nothing to check
+        for name, node in fields:
+            if name in reachable or name in self.ALLOWED:
+                continue
+            yield self.violation(
+                config_src, node,
+                f"TrainerConfig.{name} is not reachable from the CLI; "
+                "add a flag in cli.py, or allowlist it with "
+                "# repro: noqa[CFG001] and a comment")
+
+    # ------------------------------------------------------------------
+    def _find_config_class(self, tree: ast.AST) -> ast.ClassDef | None:
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.ClassDef)
+                    and node.name == self.CONFIG_CLASS):
+                return node
+        return None
+
+    @staticmethod
+    def _dataclass_fields(cls: ast.ClassDef,
+                          ) -> list[tuple[str, ast.AnnAssign]]:
+        fields = []
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and not stmt.target.id.startswith("_")):
+                annotation = ast.unparse(stmt.annotation)
+                if "ClassVar" in annotation:
+                    continue
+                fields.append((stmt.target.id, stmt))
+        return fields
+
+    def _cli_reachable_names(self, files: "list[SourceFile]",
+                             config_path: Path) -> set[str] | None:
+        """Names settable from CLI modules: keyword args, dict keys and
+        string subscripts anywhere in a ``cli.py``.
+
+        Falls back to ``<package>/cli.py`` next to the config's package
+        when the lint set does not include one (e.g. single-file runs).
+        """
+        trees = [src.tree for src in files if src.path.name == "cli.py"]
+        if not trees:
+            candidate = config_path.parent.parent / "cli.py"
+            if candidate.is_file():
+                try:
+                    trees = [ast.parse(candidate.read_text())]
+                except SyntaxError:
+                    return None
+        if not trees:
+            return None
+        names: set[str] = set()
+        for tree in trees:
+            names |= self._reachable_names(tree)
+        return names
+
+    @staticmethod
+    def _reachable_names(tree: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.keyword) and node.arg is not None:
+                names.add(node.arg)
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if (isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)):
+                        names.add(key.value)
+            elif isinstance(node, ast.Subscript):
+                sl = node.slice
+                if (isinstance(sl, ast.Constant)
+                        and isinstance(sl.value, str)):
+                    names.add(sl.value)
+        return names
+
+
+#: Registry order is report order for same-position violations.
+ALL_RULES: tuple[Rule, ...] = (
+    AmbientNondeterminism(),
+    UnorderedIteration(),
+    ImpureCostModel(),
+    ConfigReachability(),
+)
+
+
+def rule_registry() -> dict[str, Rule]:
+    """Map rule id -> rule instance for selection by id."""
+    return {rule.id: rule for rule in ALL_RULES}

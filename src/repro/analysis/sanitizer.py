@@ -1,0 +1,125 @@
+"""Runtime barrier sanitizer: the dynamic half of ``repro.analysis``.
+
+The linter catches nondeterminism it can see in the AST; the sanitizer
+catches what it cannot — in-place mutation of shared model state.  In a
+real cluster, a worker writing into a broadcast buffer is a data race
+that silently corrupts every later reader.  In this simulated cluster
+all "replicas" of the broadcast model may literally share one ndarray,
+so the same bug instead silently couples workers that are supposed to be
+independent.  ``--sanitize`` turns both into a hard error at the exact
+faulting line:
+
+* **Write-protection.**  At every superstep boundary the global model is
+  frozen with ``ndarray.setflags(write=False)`` before workers see it
+  (:meth:`BarrierSanitizer.freeze`).  Any in-place mutation then raises
+  ``ValueError: assignment destination is read-only`` from the faulting
+  statement itself — the simulated-cluster analogue of a write watchpoint
+  in a data-race detector.  Parameter-server pulls and async model
+  snapshots are frozen the same way.
+* **Barrier digests.**  After every step the model's SHA-256 digest is
+  recorded (:meth:`BarrierSanitizer.record_barrier`), and collectives
+  that materialize per-worker replicas verify all replicas are
+  bit-identical (:func:`check_replicas`) — aggregation-path bugs surface
+  as :class:`ReplicaDivergenceError` at the barrier where they happen,
+  not as golden-test drift three PRs later.
+
+The sanitizer reads array flags and bytes only; it never changes the
+numerics or the simulated clock, so a clean ``--sanitize`` run is
+bit-identical to a normal run (pinned by the golden-convergence test).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["SanitizerError", "ReplicaDivergenceError", "freeze_array",
+           "model_digest", "check_replicas", "BarrierSanitizer"]
+
+
+class SanitizerError(RuntimeError):
+    """Base class for barrier-sanitizer failures."""
+
+
+class ReplicaDivergenceError(SanitizerError):
+    """Replicas of the model that must be bit-identical are not."""
+
+
+def freeze_array(array: np.ndarray) -> np.ndarray:
+    """Return ``array`` write-protected (in place when possible).
+
+    Restricting writeability is always legal for arrays that own their
+    data; for non-owning views a read-only copy is returned so freezing
+    never reaches through to an unrelated base buffer.
+    """
+    array = np.asarray(array)
+    if not array.flags.writeable:
+        return array
+    if not array.flags.owndata and array.base is not None:
+        array = array.copy()
+    array.setflags(write=False)
+    return array
+
+
+def model_digest(array: np.ndarray) -> str:
+    """SHA-256 over dtype, shape and bytes — equal iff bit-identical."""
+    contiguous = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(contiguous.dtype).encode())
+    digest.update(str(contiguous.shape).encode())
+    digest.update(contiguous.tobytes())
+    return digest.hexdigest()
+
+
+def check_replicas(replicas: list[np.ndarray], context: str = "") -> str:
+    """Verify all replicas are bit-identical; return the common digest.
+
+    Raises :class:`ReplicaDivergenceError` naming the diverging replica
+    indices otherwise.
+    """
+    if not replicas:
+        raise ValueError("need at least one replica to check")
+    digests = [model_digest(replica) for replica in replicas]
+    reference = digests[0]
+    diverged = [i for i, d in enumerate(digests) if d != reference]
+    if diverged:
+        where = f" during {context}" if context else ""
+        raise ReplicaDivergenceError(
+            f"model replicas diverged{where}: replicas {diverged} differ "
+            f"from replica 0 (digest {reference[:12]}…); some worker saw "
+            "or produced different bits")
+    return reference
+
+
+class BarrierSanitizer:
+    """Per-run sanitizer state: freeze hooks plus the digest log.
+
+    Constructed by :class:`~repro.core.trainer.DistributedTrainer` from
+    ``config.sanitize``; when disabled every hook is a no-op so the
+    default path stays allocation-free.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        #: (step, sha256) per superstep barrier, step 0 = initial model.
+        self.barrier_digests: list[tuple[int, str]] = []
+
+    def freeze(self, array: np.ndarray) -> np.ndarray:
+        """Write-protect the model at a superstep boundary."""
+        if not self.enabled:
+            return array
+        return freeze_array(array)
+
+    def record_barrier(self, step: int, model: np.ndarray) -> None:
+        """Log the model digest at a barrier (monitoring only)."""
+        if not self.enabled:
+            return
+        self.barrier_digests.append((step, model_digest(model)))
+
+    def check_replicas(self, replicas: list[np.ndarray],
+                       context: str = "") -> str | None:
+        """Replica bit-identity check (no-op when disabled)."""
+        if not self.enabled:
+            return None
+        return check_replicas(replicas, context)

@@ -1,0 +1,40 @@
+"""Violation record shared by every lint rule and reporter.
+
+A violation pins a rule to an exact ``path:line:col`` so diagnostics are
+clickable and ``# repro: noqa[RULE]`` suppressions can be matched to the
+physical line they sit on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Violation", "PARSE_RULE_ID"]
+
+#: Pseudo-rule reported when a file cannot be parsed at all.  It is not a
+#: registered rule and cannot be suppressed with ``noqa``.
+PARSE_RULE_ID = "SYN001"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One diagnostic: ``path:line:col: RULE message``."""
+
+    path: Path
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": str(self.path),
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -73,8 +73,27 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["constant", "inv_sqrt", "inv_time"])
         p.add_argument("--batch-fraction", type=float, default=0.01)
         p.add_argument("--chunk-size", type=int, default=32)
+        p.add_argument("--local-epochs", type=int, default=1,
+                       help="SendModel only: local passes over the "
+                            "partition per communication step")
+        p.add_argument("--tasks-per-executor", type=int, default=1,
+                       help="waves of tasks per executor in SendGradient "
+                            "trainers (Section V-C; the paper found 1 "
+                            "optimal)")
+        p.add_argument("--eager-l2", action="store_true",
+                       help="apply L2 decay densely every update instead "
+                            "of the Bottou lazy/scaled representation "
+                            "(ablation; slower on sparse data)")
+        p.add_argument("--divergence-limit", type=float, default=1.0e6,
+                       help="abort when the objective exceeds this value")
         p.add_argument("--eval-every", type=int, default=1)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--sanitize", action="store_true",
+                       help="barrier sanitizer: freeze broadcast model "
+                            "arrays at superstep boundaries and "
+                            "digest-check replica bit-identity (in-place "
+                            "mutation of shared state raises at the "
+                            "faulting line)")
         p.add_argument("--failure-rate", type=float, default=0.0,
                        help="per-(step, executor) crash probability "
                             "(0 disables fault injection)")
@@ -145,6 +164,11 @@ def _make_config(args, **overrides) -> TrainerConfig:
                 lr_schedule=args.schedule,
                 batch_fraction=args.batch_fraction,
                 local_chunk_size=args.chunk_size,
+                local_epochs=getattr(args, "local_epochs", 1),
+                tasks_per_executor=getattr(args, "tasks_per_executor", 1),
+                lazy_l2=not getattr(args, "eager_l2", False),
+                divergence_limit=getattr(args, "divergence_limit", 1.0e6),
+                sanitize=getattr(args, "sanitize", False),
                 eval_every=args.eval_every, seed=args.seed,
                 failure_rate=getattr(args, "failure_rate", 0.0),
                 failure_schedule=getattr(args, "failure_schedule", None),

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.sanitizer import check_replicas as _check_replicas
 from ..engine.shuffle import exchange
 
 __all__ = ["partition_slices", "reduce_scatter", "all_gather",
@@ -101,11 +102,17 @@ def reduce_scatter(models: list[np.ndarray], combine: str = "average",
     return partitions
 
 
-def all_gather(partitions: list[np.ndarray], model_size: int) -> np.ndarray:
+def all_gather(partitions: list[np.ndarray], model_size: int,
+               check_replicas: bool = False) -> np.ndarray:
     """Phase 2: reassemble the full model from owner partitions.
 
     Every worker receives every partition; since the reassembled vector is
-    identical on all workers, one array is returned.
+    identical on all workers, one array is returned.  With
+    ``check_replicas`` (the ``--sanitize`` barrier digest check) every
+    worker's reassembled replica is materialized and verified
+    bit-identical first — a diverging replica raises
+    :class:`~repro.analysis.sanitizer.ReplicaDivergenceError` at this
+    barrier instead of surfacing as unexplained drift later.
     """
     k = len(partitions)
     if k == 0:
@@ -122,6 +129,10 @@ def all_gather(partitions: list[np.ndarray], model_size: int) -> np.ndarray:
                 for owner in range(k)]
     inboxes = exchange(outboxes, k)
     # Every inbox holds the k partitions in owner order.
+    if check_replicas:
+        replicas = [np.concatenate(inbox) for inbox in inboxes]
+        _check_replicas(replicas, context="all_gather")
+        return replicas[0]
     return np.concatenate(inboxes[0])
 
 

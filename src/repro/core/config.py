@@ -75,6 +75,14 @@ class TrainerConfig:
         0 disables writing).
     restart_seconds:
         Fixed executor restart/reschedule delay paid per recovery.
+    sanitize:
+        Enable the barrier sanitizer: broadcast/pulled model arrays are
+        frozen (``ndarray.setflags(write=False)``) at superstep
+        boundaries so in-place mutation of shared state raises at the
+        faulting line, and barrier-time digests verify model replicas
+        stay bit-identical.  Monitoring only — a clean run is
+        bit-identical with or without it.  See
+        :mod:`repro.analysis.sanitizer`.
     """
 
     learning_rate: float = 0.1
@@ -95,6 +103,7 @@ class TrainerConfig:
     recovery_strategy: str = "recompute"
     checkpoint_every: int = 0
     restart_seconds: float = 1.0
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:

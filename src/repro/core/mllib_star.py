@@ -104,6 +104,9 @@ class MLlibStarTrainer(DistributedTrainer):
         engine.reduce_scatter_phase(m, step, redo_seconds=durations)
 
         # Phase 3: AllGather — everyone reassembles the global model.
-        new_w = all_gather(partitions, m)
+        # Under --sanitize every worker's reassembled replica is
+        # digest-checked for bit-identity at this barrier.
+        new_w = all_gather(partitions, m,
+                           check_replicas=self.sanitizer.enabled)
         engine.all_gather_phase(m, step, redo_seconds=durations)
         return new_w

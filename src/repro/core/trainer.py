@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.sanitizer import BarrierSanitizer
 from ..cluster import ClusterSpec, Trace
 from ..cluster.faults import (FailureRecord, RecoveryPolicy,
                               build_failure_model)
@@ -93,6 +94,10 @@ class DistributedTrainer:
             strategy=self.config.recovery_strategy,
             checkpoint_every=self.config.checkpoint_every,
             restart_seconds=self.config.restart_seconds)
+        #: Barrier sanitizer (``--sanitize``): freezes the model at every
+        #: superstep boundary and logs barrier digests.  Disabled (all
+        #: hooks no-ops) unless ``config.sanitize`` is set.
+        self.sanitizer = BarrierSanitizer(enabled=self.config.sanitize)
 
     # ------------------------------------------------------------------
     # subclass contract
@@ -186,6 +191,11 @@ class DistributedTrainer:
                     f"initial_weights has shape {initial_weights.shape}, "
                     f"expected ({dataset.n_features},)")
             w = np.array(initial_weights, dtype=np.float64, copy=True)
+        # Under --sanitize the model handed to workers is read-only; any
+        # in-place mutation of broadcast state raises at the faulting
+        # line instead of silently coupling workers.
+        w = self.sanitizer.freeze(w)
+        self.sanitizer.record_barrier(0, w)
         self._on_initial_model(w, data)
         history = TrainingHistory(system=self.system, dataset=dataset.name,
                                   detail=self.objective.describe())
@@ -196,6 +206,8 @@ class DistributedTrainer:
         diverged = False
         for step in range(1, self.config.max_steps + 1):
             w = self._run_step(step, w, data)
+            w = self.sanitizer.freeze(w)
+            self.sanitizer.record_barrier(step, w)
             is_last = step == self.config.max_steps
             if (self.recovery.writes_checkpoints and not is_last
                     and step % self.recovery.checkpoint_every == 0):

@@ -90,7 +90,11 @@ class AsyncSgdTrainer(DistributedTrainer):
         part = data.partitions[worker]
         batch = self._batch_size(part.n_rows)
         Xb, yb = sample_batch(part.X, part.y, batch, self._rngs[worker])
-        self._pulled[worker] = np.array(self._model, copy=True)
+        # The pulled snapshot is this worker's private read view of the
+        # global model; under --sanitize it is frozen so a worker update
+        # that writes through it raises at the faulting line.
+        self._pulled[worker] = self.sanitizer.freeze(
+            np.array(self._model, copy=True))
         self._pull_versions[worker] = self._updates_applied
         self._pending[worker] = self.objective.batch_loss_gradient(
             self._pulled[worker], Xb, yb)

@@ -60,14 +60,15 @@ class PetuumTrainer(DistributedTrainer):
         self._rngs = self._worker_rngs(data.num_partitions)
         self._server = ParameterServer(
             model_size=data.n_features,
-            num_servers=self._engine.num_servers)
+            num_servers=self._engine.num_servers,
+            sanitize=self.config.sanitize)
 
     def _on_initial_model(self, w: np.ndarray,
                           data: PartitionedDataset) -> None:
         self._server = ParameterServer(
             model_size=data.n_features,
             num_servers=self._engine.num_servers if self._engine else 1,
-            initial=w)
+            initial=w, sanitize=self.config.sanitize)
 
     def _clock(self) -> float:
         assert self._engine is not None, "fit() not started"
@@ -95,6 +96,7 @@ class PetuumTrainer(DistributedTrainer):
     def _combine(self, w: np.ndarray,
                  locals_: list[np.ndarray]) -> np.ndarray:
         """Model summation via the server: every worker pushes its delta."""
+        assert self._server is not None, "fit() not started"
         for local in locals_:
             self._server.push_sum(local - w)
         return self._server.pull()
@@ -124,6 +126,7 @@ class PetuumStarTrainer(PetuumTrainer):
 
     def _combine(self, w: np.ndarray,
                  locals_: list[np.ndarray]) -> np.ndarray:
+        assert self._server is not None, "fit() not started"
         for local in locals_:
             self._server.push_for_average(local)
         return self._server.apply_average()

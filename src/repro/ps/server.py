@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.sanitizer import freeze_array
 from ..cluster import ClusterSpec
 from ..collectives import partition_slices
 
@@ -31,7 +32,8 @@ class ParameterServer:
     """A sharded in-memory model store with sum/average combination."""
 
     def __init__(self, model_size: int, num_servers: int,
-                 initial: np.ndarray | None = None) -> None:
+                 initial: np.ndarray | None = None,
+                 sanitize: bool = False) -> None:
         if num_servers < 1:
             raise ValueError("need at least one server shard")
         if model_size < num_servers:
@@ -47,11 +49,22 @@ class ParameterServer:
                 raise ValueError("initial model has the wrong shape")
             self._model = np.array(initial, copy=True)
         self._pending: list[np.ndarray] = []
+        #: Barrier-sanitizer mode: pulled copies are frozen read-only so
+        #: a worker mutating its pulled model in place raises at the
+        #: faulting line (the server's own combine stays writable).
+        self._sanitize = sanitize
 
     # ------------------------------------------------------------------
     def pull(self) -> np.ndarray:
-        """Fetch the current global model (a copy)."""
-        return np.array(self._model, copy=True)
+        """Fetch the current global model (a copy).
+
+        Under sanitize mode the copy is write-protected: workers must
+        not update the pulled snapshot in place.
+        """
+        copy = np.array(self._model, copy=True)
+        if self._sanitize:
+            copy = freeze_array(copy)
+        return copy
 
     def push_sum(self, update: np.ndarray) -> None:
         """Model summation: add ``update`` into the global model now.

@@ -1,0 +1,324 @@
+"""Per-rule fixtures for the determinism linter (``repro.analysis``).
+
+Every rule gets three fixtures: a violating snippet, a clean snippet, and
+a violating snippet whose diagnostic is silenced with an inline
+``# repro: noqa[RULE]`` suppression.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import (PARSE_RULE_ID, parse_noqa, rule_registry,
+                            run_analysis)
+
+ALL_IDS = {"DET001", "DET002", "PURE001", "CFG001"}
+
+
+def lint(tmp_path: Path, name: str, source: str, **kwargs):
+    """Write ``source`` to ``tmp_path/name`` and lint that one file."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return run_analysis([path], **kwargs)
+
+
+def rules_hit(result) -> set[str]:
+    return {v.rule for v in result.violations}
+
+
+# ----------------------------------------------------------------------
+# registry basics
+# ----------------------------------------------------------------------
+def test_registry_exposes_all_rules():
+    assert set(rule_registry()) == ALL_IDS
+
+
+def test_syntax_error_reports_syn001(tmp_path):
+    result = lint(tmp_path, "broken.py", "def f(:\n    pass\n")
+    assert [v.rule for v in result.violations] == [PARSE_RULE_ID]
+    assert result.exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# DET001: ambient nondeterminism
+# ----------------------------------------------------------------------
+DET001_BAD = """\
+import random
+import time
+import numpy as np
+from datetime import datetime
+
+
+def sample():
+    x = random.random()
+    np.random.seed(0)
+    rng = np.random.default_rng()
+    legacy = np.random.randn(3)
+    started = time.time()
+    stamp = datetime.now()
+    return x, rng, legacy, started, stamp
+"""
+
+DET001_CLEAN = """\
+import numpy as np
+
+
+def make_streams(seed, k):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(k)]
+
+
+def sample(rng: np.random.Generator):
+    return rng.normal(size=3)
+"""
+
+
+def test_det001_flags_every_ambient_source(tmp_path):
+    result = lint(tmp_path, "bad.py", DET001_BAD)
+    det = [v for v in result.violations if v.rule == "DET001"]
+    # random.random, np.random.seed, argless default_rng, legacy randn,
+    # time.time, datetime.now — six distinct diagnostics.
+    assert len(det) == 6
+    lines = {v.line for v in det}
+    assert lines == {8, 9, 10, 11, 12, 13}
+
+
+def test_det001_clean_seeded_generators_pass(tmp_path):
+    result = lint(tmp_path, "clean.py", DET001_CLEAN)
+    assert result.violations == []
+    assert result.ok
+
+
+def test_det001_noqa_suppresses(tmp_path):
+    src = "import time\nstarted = time.time()  # repro: noqa[DET001]\n"
+    result = lint(tmp_path, "timed.py", src)
+    assert result.violations == []
+    assert [v.rule for v in result.suppressed] == ["DET001"]
+
+
+def test_det001_unrelated_modules_not_flagged(tmp_path):
+    # A local function *named* random is not the stdlib module.
+    src = "def random():\n    return 4\n\n\nvalue = random()\n"
+    result = lint(tmp_path, "local.py", src)
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# DET002: unordered iteration feeding accumulation
+# ----------------------------------------------------------------------
+DET002_BAD = """\
+def total(parts):
+    acc = 0.0
+    for p in {1.5, 2.5, 3.5}:
+        acc += p
+    return acc
+
+
+def flatten(items):
+    return [x for x in set(items)]
+"""
+
+DET002_CLEAN = """\
+def total(parts):
+    acc = 0.0
+    for p in sorted({1.5, 2.5, 3.5}):
+        acc += p
+    return acc
+
+
+def flatten(items):
+    return [x for x in sorted(set(items))]
+"""
+
+
+def test_det002_flags_set_iteration_in_scoped_paths(tmp_path):
+    result = lint(tmp_path, "ps/loop.py", DET002_BAD)
+    det = [v for v in result.violations if v.rule == "DET002"]
+    assert len(det) == 2
+
+
+def test_det002_applies_to_collectives_and_aggregation(tmp_path):
+    assert "DET002" in rules_hit(
+        lint(tmp_path, "collectives/reduce.py", DET002_BAD))
+    assert "DET002" in rules_hit(lint(tmp_path, "aggregation.py", DET002_BAD))
+
+
+def test_det002_ignores_files_outside_scope(tmp_path):
+    # The same source in an unscoped module is not DET002's business.
+    result = lint(tmp_path, "viz/plotting.py", DET002_BAD)
+    assert "DET002" not in rules_hit(result)
+
+
+def test_det002_sorted_iteration_is_clean(tmp_path):
+    result = lint(tmp_path, "ps/loop.py", DET002_CLEAN)
+    assert result.violations == []
+
+
+def test_det002_noqa_suppresses(tmp_path):
+    src = ("def f(xs):\n"
+           "    out = 0.0\n"
+           "    for x in set(xs):  # repro: noqa[DET002]\n"
+           "        out += x\n"
+           "    return out\n")
+    result = lint(tmp_path, "ps/ok.py", src)
+    assert result.violations == []
+    assert [v.rule for v in result.suppressed] == ["DET002"]
+
+
+# ----------------------------------------------------------------------
+# PURE001: cost-model pricing functions must not mutate state
+# ----------------------------------------------------------------------
+PURE001_BAD = """\
+class CostModel:
+    def __init__(self):
+        self.calls = 0
+        self.log = []
+
+    def seconds(self, n):
+        self.calls += 1
+        return n * 0.1
+
+    def comm_seconds(self, n):
+        self.log.append(n)
+        return n * 0.2
+"""
+
+PURE001_CLEAN = """\
+class CostModel:
+    def seconds(self, n):
+        return n * 0.1
+
+    def comm_seconds(self, n):
+        scale = 0.2
+        return n * scale
+
+
+def fan_in_seconds(k, payload):
+    total = 0.0
+    for _ in range(k):
+        total += payload
+    return total
+"""
+
+
+def test_pure001_flags_self_mutation(tmp_path):
+    result = lint(tmp_path, "cost.py", PURE001_BAD)
+    pure = [v for v in result.violations if v.rule == "PURE001"]
+    assert len(pure) == 2  # the AugAssign and the .append call
+
+
+def test_pure001_clean_pricing_passes(tmp_path):
+    result = lint(tmp_path, "cost.py", PURE001_CLEAN)
+    assert result.violations == []
+
+
+def test_pure001_ignores_non_pricing_methods(tmp_path):
+    src = ("class Engine:\n"
+           "    def advance(self, dt):\n"
+           "        self.now += dt\n")
+    result = lint(tmp_path, "engine.py", src)
+    assert result.violations == []
+
+
+def test_pure001_noqa_suppresses(tmp_path):
+    src = ("class CostModel:\n"
+           "    def seconds(self, n):\n"
+           "        self.calls += 1  # repro: noqa[PURE001]\n"
+           "        return n * 0.1\n")
+    result = lint(tmp_path, "cost.py", src)
+    assert result.violations == []
+    assert [v.rule for v in result.suppressed] == ["PURE001"]
+
+
+# ----------------------------------------------------------------------
+# CFG001: TrainerConfig fields must be reachable from the CLI
+# ----------------------------------------------------------------------
+CFG_CONFIG = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    max_steps: int = 10
+    learning_rate: float = 0.1
+    hidden_knob: float = 0.5
+"""
+
+CFG_CLI = """\
+def make_config(args):
+    return dict(max_steps=args.steps, learning_rate=args.lr)
+"""
+
+
+def _write_cfg_project(tmp_path, config_src, cli_src):
+    (tmp_path / "config.py").write_text(config_src)
+    (tmp_path / "cli.py").write_text(cli_src)
+    return run_analysis([tmp_path], select=["CFG001"])
+
+
+def test_cfg001_flags_unreachable_field(tmp_path):
+    result = _write_cfg_project(tmp_path, CFG_CONFIG, CFG_CLI)
+    assert [v.rule for v in result.violations] == ["CFG001"]
+    assert "hidden_knob" in result.violations[0].message
+
+
+def test_cfg001_clean_when_every_field_wired(tmp_path):
+    cli = ("def make_config(args):\n"
+           "    return dict(max_steps=args.steps, learning_rate=args.lr,\n"
+           "                hidden_knob=args.knob)\n")
+    result = _write_cfg_project(tmp_path, CFG_CONFIG, cli)
+    assert result.violations == []
+
+
+def test_cfg001_string_subscript_counts_as_reachable(tmp_path):
+    cli = ("def make_config(args, overrides):\n"
+           "    overrides['hidden_knob'] = 1.0\n"
+           "    return dict(max_steps=1, learning_rate=0.1)\n")
+    result = _write_cfg_project(tmp_path, CFG_CONFIG, cli)
+    assert result.violations == []
+
+
+def test_cfg001_noqa_on_field_line_suppresses(tmp_path):
+    config = CFG_CONFIG.replace(
+        "hidden_knob: float = 0.5",
+        "hidden_knob: float = 0.5  # repro: noqa[CFG001]")
+    result = _write_cfg_project(tmp_path, config, CFG_CLI)
+    assert result.violations == []
+    assert [v.rule for v in result.suppressed] == ["CFG001"]
+
+
+def test_cfg001_silent_without_config_class(tmp_path):
+    (tmp_path / "misc.py").write_text("x = 1\n")
+    result = run_analysis([tmp_path], select=["CFG001"])
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# suppression machinery
+# ----------------------------------------------------------------------
+def test_parse_noqa_forms():
+    text = ("a = 1  # repro: noqa[DET001]\n"
+            "b = 2  # repro: noqa[DET001, PURE001]\n"
+            "c = 3  # repro: noqa\n"
+            "d = 4  # noqa\n")
+    noqa = parse_noqa(text)
+    assert noqa[1] == frozenset({"DET001"})
+    assert noqa[2] == frozenset({"DET001", "PURE001"})
+    assert noqa[3] == frozenset({"*"})  # bare form silences every rule
+    assert 4 not in noqa  # plain flake8 noqa is not ours
+
+
+def test_noqa_for_other_rule_does_not_suppress(tmp_path):
+    src = "import time\nstarted = time.time()  # repro: noqa[DET002]\n"
+    result = lint(tmp_path, "timed.py", src)
+    assert [v.rule for v in result.violations] == ["DET001"]
+
+
+def test_rule_selection_and_ignore(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(DET001_BAD)
+    only = run_analysis([path], select=["DET001"])
+    assert only.rules_run == ("DET001",)
+    ignored = run_analysis([path], ignore=["DET001"])
+    assert ignored.violations == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import LogNormalStragglers, cluster1, cluster2
+from repro.cluster import cluster1, cluster2
 from repro.engine import BspEngine, executor_label
 from repro.engine.driver import DRIVER_LABEL
 

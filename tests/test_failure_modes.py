@@ -7,7 +7,7 @@ from repro.cluster import (ClusterSpec, LogNormalStragglers, cluster1,
                            homogeneous_nodes)
 from repro.core import (MLlibStarTrainer, MLlibTrainer, TrainerConfig)
 from repro.data import SyntheticSpec, generate
-from repro.engine import BspEngine, PartitionedDataset
+from repro.engine import BspEngine
 from repro.glm import Objective
 from repro.ps import PetuumTrainer
 

@@ -4,7 +4,6 @@ Each test here reproduces, in miniature, one of the shapes the evaluation
 section reports.  These are the tests that tie the substrates together.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (MLlibModelAveragingTrainer, MLlibStarTrainer,

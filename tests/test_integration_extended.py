@@ -1,7 +1,6 @@
 """Extended integration tests: engine variants, extensions, exports."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import ComputeCostModel, cluster1, cluster2
 from repro.core import (MLlibStarTrainer, MLlibTrainer, SparkMlStarTrainer,

@@ -1,7 +1,6 @@
 """Behavioural tests for the parameter-server trainers."""
 
 import numpy as np
-import pytest
 
 from repro.core import TrainerConfig
 from repro.glm import Objective
