@@ -319,49 +319,48 @@ class ImpureCostModel(Rule):
 # CFG001 — every TrainerConfig field reachable from the CLI
 # ----------------------------------------------------------------------
 class ConfigReachability(ProjectRule):
-    """Every ``TrainerConfig`` field must be settable from ``cli.py``."""
+    """Every config-dataclass field must be settable from ``cli.py``."""
 
     id = "CFG001"
-    summary = ("TrainerConfig fields must be reachable from the CLI or "
-               "explicitly allowlisted; unreachable knobs are dead "
-               "configuration")
+    summary = ("TrainerConfig/ServeConfig fields must be reachable from "
+               "the CLI or explicitly allowlisted; unreachable knobs are "
+               "dead configuration")
 
-    CONFIG_CLASS = "TrainerConfig"
+    #: Config dataclasses whose fields the CLI must be able to set.
+    CONFIG_CLASSES: tuple[str, ...] = ("TrainerConfig", "ServeConfig")
     #: Fields exempt from CLI reachability (none today; prefer wiring new
     #: fields into the CLI over growing this list).
     ALLOWED: frozenset[str] = frozenset()
 
     def check_project(self,
                       files: "list[SourceFile]") -> Iterator[Violation]:
-        config_src = None
-        config_class = None
-        for src in files:
-            cls = self._find_config_class(src.tree)
-            if cls is not None:
-                config_src, config_class = src, cls
-                break
-        if config_src is None or config_class is None:
+        found = self._find_config_classes(files)
+        if not found:
             return
-        fields = self._dataclass_fields(config_class)
-        reachable = self._cli_reachable_names(files, config_src.path)
+        reachable = self._cli_reachable_names(files, found[0][0].path)
         if reachable is None:
             return  # no CLI module found anywhere; nothing to check
-        for name, node in fields:
-            if name in reachable or name in self.ALLOWED:
-                continue
-            yield self.violation(
-                config_src, node,
-                f"TrainerConfig.{name} is not reachable from the CLI; "
-                "add a flag in cli.py, or allowlist it with "
-                "# repro: noqa[CFG001] and a comment")
+        for config_src, config_class in found:
+            for name, node in self._dataclass_fields(config_class):
+                if name in reachable or name in self.ALLOWED:
+                    continue
+                yield self.violation(
+                    config_src, node,
+                    f"{config_class.name}.{name} is not reachable from "
+                    "the CLI; add a flag in cli.py, or allowlist it with "
+                    "# repro: noqa[CFG001] and a comment")
 
     # ------------------------------------------------------------------
-    def _find_config_class(self, tree: ast.AST) -> ast.ClassDef | None:
-        for node in ast.walk(tree):
-            if (isinstance(node, ast.ClassDef)
-                    and node.name == self.CONFIG_CLASS):
-                return node
-        return None
+    def _find_config_classes(
+            self, files: "list[SourceFile]",
+    ) -> "list[tuple[SourceFile, ast.ClassDef]]":
+        found = []
+        for src in files:
+            for node in ast.walk(src.tree):
+                if (isinstance(node, ast.ClassDef)
+                        and node.name in self.CONFIG_CLASSES):
+                    found.append((src, node))
+        return found
 
     @staticmethod
     def _dataclass_fields(cls: ast.ClassDef,

@@ -8,6 +8,12 @@ Commands:
 * ``compare``    — run several systems on one workload and print time and
   steps to the 0.01-accuracy-loss threshold.
 * ``gantt``      — render the ASCII gantt chart for one system.
+* ``save``       — train one system and persist the model (artifact file
+  or registry version).
+* ``predict``    — load a saved model and score a dataset through the
+  batched prediction service.
+* ``models``     — list a registry's model versions.
+* ``serve-bench`` — open-loop arrival-rate sweep against a saved model.
 
 Examples::
 
@@ -15,24 +21,35 @@ Examples::
     python -m repro train --system "MLlib*" --dataset avazu --l2 0.1
     python -m repro compare --dataset url --systems "MLlib,MLlib*" --l2 0
     python -m repro gantt --system MLlib --dataset kddb --steps 4
+    python -m repro save --system "MLlib*" --dataset avazu --l2 0.1 \\
+        --registry ./models --name avazu-svm --promote
+    python -m repro predict --registry ./models --name avazu-svm \\
+        --data avazu --head 5
+    python -m repro serve-bench --registry ./models --name avazu-svm \\
+        --data avazu --out BENCH_serving.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .cluster import cluster1
 from .core import (MLlibModelAveragingTrainer, MLlibStarTrainer,
                    MLlibTrainer, SparkMlStarTrainer, SparkMlTrainer,
                    TrainerConfig)
 from .data import CATALOG, dataset_names, load, read_libsvm
-from .glm import Objective
+from .glm import ArtifactError, GLMModel, Objective
 from .metrics import (evaluate_convergence, format_speedup, format_table,
-                      render_ascii, speedup, summarize, write_histories_json,
-                      write_history_csv)
+                      render_ascii, serving_report, speedup, summarize,
+                      write_histories_json, write_history_csv)
 from .ps import (AngelTrainer, AsyncSgdTrainer, PetuumStarTrainer,
                  PetuumTrainer)
+from .serve import (ModelRegistry, PredictionService, RegistryError,
+                    ServeConfig, ServingCostModel, dataset_requests,
+                    rate_sweep)
 
 __all__ = ["main", "build_parser", "SYSTEMS"]
 
@@ -144,6 +161,93 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated learning-rate candidates")
     tune.add_argument("--chunk-sizes", default="16,64",
                       help="comma-separated local chunk sizes")
+
+    # ------------------------------------------------------------------
+    # serving: save / predict / models / serve-bench
+    # ------------------------------------------------------------------
+    def add_model_source_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", metavar="PATH",
+                       help="path to a saved model artifact (.npz)")
+        p.add_argument("--registry", metavar="DIR",
+                       help="model registry root directory")
+        p.add_argument("--name", metavar="NAME",
+                       help="registry model name (with --registry)")
+        p.add_argument("--version", metavar="VID", default=None,
+                       help="registry version id, e.g. v0001 (default: "
+                            "the promoted version, else the latest)")
+
+    def add_serve_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--serve-max-batch", type=int, default=32,
+                       help="flush a batch at this many pending requests")
+        p.add_argument("--serve-max-delay-ms", type=float, default=1.0,
+                       help="latency deadline: dispatch a partial batch "
+                            "once its oldest request has waited this "
+                            "long (simulated milliseconds)")
+        p.add_argument("--serve-queue-limit", type=int, default=None,
+                       help="admission-queue bound; requests beyond it "
+                            "are shed (default: 128 for serve-bench, "
+                            "the dataset size for predict)")
+        p.add_argument("--serve-workers", type=int, default=2,
+                       help="simulated worker pool size")
+
+    save = sub.add_parser(
+        "save", help="train one system and persist the model")
+    add_workload_args(save)
+    save.add_argument("--system", default="MLlib*", choices=sorted(SYSTEMS))
+    save.add_argument("--out", metavar="PATH",
+                      help="write a standalone artifact file")
+    save.add_argument("--registry", metavar="DIR",
+                      help="save into this registry root instead")
+    save.add_argument("--name", metavar="NAME",
+                      help="registry model name (default: the dataset "
+                           "name)")
+    save.add_argument("--promote", action="store_true",
+                      help="promote the new version to serving "
+                           "(registry mode only)")
+
+    predict = sub.add_parser(
+        "predict", help="score a dataset with a saved model through the "
+                        "batched prediction service")
+    add_model_source_args(predict)
+    add_serve_args(predict)
+    predict.add_argument("--data", required=True, metavar="DATASET",
+                         help="catalog name or path to a LIBSVM file")
+    predict.add_argument("--shadow", metavar="VID", default=None,
+                         help="also score through this registry version "
+                              "(shadow/canary mode; needs --registry)")
+    predict.add_argument("--head", type=int, default=0, metavar="N",
+                         help="print the first N predictions")
+    predict.add_argument("--export-json", metavar="PATH",
+                         help="write predictions + metrics to JSON")
+    predict.add_argument("--seed", type=int, default=0)
+
+    models = sub.add_parser(
+        "models", help="list a registry's models and versions")
+    models.add_argument("--registry", required=True, metavar="DIR")
+    models.add_argument("--name", default=None,
+                        help="limit to one model name")
+
+    bench = sub.add_parser(
+        "serve-bench", help="open-loop load sweep: arrival rate vs "
+                            "latency percentiles and shed rate")
+    add_model_source_args(bench)
+    add_serve_args(bench)
+    bench.add_argument("--data", required=True, metavar="DATASET",
+                       help="catalog name or path to a LIBSVM file "
+                            "(request rows are sampled from it)")
+    bench.add_argument("--rates", default=None, metavar="R1,R2,...",
+                       help="absolute arrival rates to sweep (default: "
+                            "0.25/0.5/1.0/1.5/2.0 x the pool's "
+                            "saturation throughput)")
+    bench.add_argument("--duration", type=float, default=0.2,
+                       help="simulated seconds of load per rate")
+    bench.add_argument("--shadow", metavar="VID", default=None,
+                       help="shadow registry version scored on every "
+                            "batch (needs --registry)")
+    bench.add_argument("--out", metavar="PATH",
+                       help="write the sweep to JSON "
+                            "(e.g. BENCH_serving.json)")
+    bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -318,6 +422,199 @@ def cmd_tune(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serving commands
+# ----------------------------------------------------------------------
+def _make_serve_config(args, default_queue: int) -> ServeConfig:
+    queue_limit = args.serve_queue_limit
+    if queue_limit is None:
+        queue_limit = default_queue
+    return ServeConfig(max_batch=args.serve_max_batch,
+                       max_delay=args.serve_max_delay_ms / 1000.0,
+                       queue_limit=queue_limit,
+                       workers=args.serve_workers,
+                       seed=args.seed)
+
+
+def _resolve_model(args) -> tuple[GLMModel, str]:
+    """Load the model named by --model or --registry/--name."""
+    if args.model and args.registry:
+        raise RegistryError("pass either --model or --registry, not both")
+    if args.model:
+        return GLMModel.load(args.model), Path(args.model).name
+    if not args.registry or not args.name:
+        raise RegistryError(
+            "need a model source: --model PATH, or --registry DIR "
+            "--name NAME")
+    registry = ModelRegistry(args.registry)
+    path = registry.resolve(args.name, args.version)
+    return GLMModel.load(path), f"{args.name}/{path.stem}"
+
+
+def _resolve_shadow(args) -> tuple[GLMModel, str] | None:
+    if args.shadow is None:
+        return None
+    if not args.registry or not args.name:
+        raise RegistryError("--shadow needs --registry and --name")
+    registry = ModelRegistry(args.registry)
+    return (registry.load_model(args.name, args.shadow),
+            f"{args.name}/{args.shadow}")
+
+
+def cmd_save(args) -> int:
+    if not args.out and not args.registry:
+        print("save: need --out PATH or --registry DIR", file=sys.stderr)
+        return 2
+    result, dataset = _fit(args.system, args)
+    model = result.model
+    provenance = {
+        "system": args.system, "dataset": dataset.name,
+        "loss": args.loss, "l2": args.l2, "seed": args.seed,
+        "steps": result.history.total_steps,
+        "final_objective": result.final_objective,
+    }
+    acc = model.accuracy(dataset.X, dataset.y)
+    print(f"{args.system} on {dataset.name}: "
+          f"final objective {result.final_objective:.4f}, "
+          f"training accuracy {acc:.1%}")
+    if args.out:
+        path = model.save(args.out, provenance=provenance)
+        print(f"wrote artifact {path}")
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        name = args.name or dataset.name
+        version = registry.save_model(model, name, provenance=provenance)
+        print(f"registered {name}/{version} in {args.registry}")
+        if args.promote:
+            registry.promote(name, version)
+            print(f"promoted {name}/{version}")
+    return 1 if result.diverged else 0
+
+
+def cmd_predict(args) -> int:
+    try:
+        model, label = _resolve_model(args)
+        shadow = _resolve_shadow(args)
+    except (ArtifactError, RegistryError) as exc:
+        print(f"predict: {exc}", file=sys.stderr)
+        return 2
+    dataset = _load_dataset(args.data)
+    config = _make_serve_config(args, default_queue=dataset.n_rows)
+    service = PredictionService(
+        model, config, shadow=None if shadow is None else shadow[0],
+        primary_version=label,
+        shadow_version="" if shadow is None else shadow[1])
+    result = service.process(dataset_requests(dataset))
+    if result.shed:
+        print(f"WARNING: {len(result.shed)} requests shed (queue limit "
+              f"{config.queue_limit}); metrics cover the completed rows",
+              file=sys.stderr)
+
+    by_id = result.by_id()
+    served = sorted(by_id)
+    correct = sum(1 for i in served
+                  if by_id[i].label == dataset.y[i])
+    print(f"{label} on {dataset.name}: {result.completed} rows scored "
+          f"in {len(result.batch_sizes)} batches "
+          f"(mean batch {result.mean_batch:.1f})")
+    print(f"accuracy {correct / max(1, len(served)):.4f}")
+    print(serving_report(result).describe())
+    if args.head > 0:
+        rows = [[i, round(by_id[i].margin, 6), int(by_id[i].label),
+                 int(dataset.y[i]), round(by_id[i].latency, 6)]
+                for i in served[:args.head]]
+        print(format_table(
+            ["row", "margin", "predicted", "label", "latency s"], rows,
+            title=f"first {min(args.head, len(rows))} predictions"))
+    if args.export_json:
+        payload = {
+            "model": label, "dataset": dataset.name,
+            "serving": result.summary(),
+            "accuracy": correct / max(1, len(served)),
+            "predictions": [
+                {"row": i, "margin": by_id[i].margin,
+                 "label": by_id[i].label} for i in served
+            ],
+        }
+        Path(args.export_json).write_text(
+            json.dumps(payload, indent=2), encoding="ascii")
+        print(f"wrote {args.export_json}")
+    return 0
+
+
+def cmd_models(args) -> int:
+    registry = ModelRegistry(args.registry)
+    names = [args.name] if args.name else registry.model_names()
+    if not names:
+        print(f"registry {args.registry} is empty")
+        return 0
+    code = 0
+    for name in names:
+        try:
+            infos = registry.list_versions(name)
+        except (ArtifactError, RegistryError) as exc:
+            print(f"models: {exc}", file=sys.stderr)
+            code = 2
+            continue
+        print(format_table(
+            ["version", "dim", "objective", "digest", "promoted"],
+            [info.row() for info in infos],
+            title=f"{name} ({len(infos)} versions)"))
+    return code
+
+
+def cmd_serve_bench(args) -> int:
+    try:
+        model, label = _resolve_model(args)
+        shadow = _resolve_shadow(args)
+    except (ArtifactError, RegistryError) as exc:
+        print(f"serve-bench: {exc}", file=sys.stderr)
+        return 2
+    dataset = _load_dataset(args.data)
+    config = _make_serve_config(args, default_queue=128)
+    cost = ServingCostModel()
+    nnz_per_row = dataset.nnz / dataset.n_rows
+    saturation = cost.saturation_qps(config.workers, config.max_batch,
+                                     nnz_per_row)
+    if args.rates:
+        rates = [float(v) for v in args.rates.split(",") if v.strip()]
+    else:
+        rates = [round(saturation * m) for m in (0.25, 0.5, 1.0, 1.5, 2.0)]
+    rows = rate_sweep(model, dataset, config, rates, args.duration,
+                      cost=cost,
+                      shadow=None if shadow is None else shadow[0])
+    table = [[r["rate"], r["offered"], r["completed"],
+              f"{r['shed_rate']:.1%}", round(r["qps"], 1),
+              round(r["mean_batch"], 2),
+              round(r["latency"].get("p50", 0.0), 6),
+              round(r["latency"].get("p99", 0.0), 6)] for r in rows]
+    print(format_table(
+        ["rate req/s", "offered", "completed", "shed", "qps",
+         "mean batch", "p50 s", "p99 s"], table,
+        title=f"open-loop sweep: {label} on {dataset.name} "
+              f"({config.workers} workers, batch {config.max_batch}, "
+              f"queue {config.queue_limit}; saturation "
+              f"~{saturation:.0f} req/s)"))
+    if args.out:
+        payload = {
+            "bench": "serving", "model": label, "dataset": dataset.name,
+            "saturation_qps": saturation,
+            "config": {
+                "max_batch": config.max_batch,
+                "max_delay": config.max_delay,
+                "queue_limit": config.queue_limit,
+                "workers": config.workers,
+                "seed": config.seed,
+                "duration": args.duration,
+            },
+            "rows": rows,
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2),
+                                  encoding="ascii")
+        print(f"wrote {args.out}")
+    return 0
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "train": cmd_train,
@@ -325,6 +622,10 @@ COMMANDS = {
     "gantt": cmd_gantt,
     "plan": cmd_plan,
     "tune": cmd_tune,
+    "save": cmd_save,
+    "predict": cmd_predict,
+    "models": cmd_models,
+    "serve-bench": cmd_serve_bench,
 }
 
 

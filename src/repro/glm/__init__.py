@@ -6,7 +6,8 @@ from .local_solvers import (LocalStats, apply_update, gd_step, mgd_epoch,
                             sample_batch, sgd_epoch)
 from .losses import (LOSSES, HingeLoss, LogisticLoss, Loss,
                      SquaredHingeLoss, SquaredLoss, get_loss)
-from .model import GLMModel
+from .model import (ARTIFACT_FORMAT, ARTIFACT_VERSION, ArtifactError,
+                    GLMModel, read_artifact_meta)
 from .objective import Objective
 from .regularizers import (REGULARIZERS, L1Regularizer, L2Regularizer,
                            NoRegularizer, Regularizer, get_regularizer)
@@ -20,6 +21,8 @@ __all__ = [
     "Regularizer", "NoRegularizer", "L1Regularizer", "L2Regularizer",
     "get_regularizer", "REGULARIZERS",
     "Objective", "GLMModel", "ScaledVector",
+    "ArtifactError", "ARTIFACT_FORMAT", "ARTIFACT_VERSION",
+    "read_artifact_meta",
     "LocalStats", "gd_step", "mgd_epoch", "sgd_epoch", "sample_batch",
     "apply_update",
     "LearningRate", "ConstantLR", "InvSqrtLR", "InvTimeLR", "get_schedule",

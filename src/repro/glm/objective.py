@@ -76,6 +76,29 @@ class Objective:
         return grad
 
     # ------------------------------------------------------------------
+    def spec(self) -> dict:
+        """JSON-serializable recipe that :meth:`from_spec` reverses.
+
+        Both loss and regularizer are registry-backed (see
+        :data:`~repro.glm.losses.LOSSES`), so name + strength fully
+        determine the objective — this is what model artifacts persist.
+        """
+        return {"loss": self.loss.name,
+                "regularizer": self.regularizer.name,
+                "strength": float(self.regularizer.strength)}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Objective":
+        """Rebuild an objective from a :meth:`spec` dict."""
+        try:
+            loss = spec["loss"]
+            regularizer = spec["regularizer"]
+        except KeyError as exc:
+            raise ValueError(
+                f"objective spec is missing the {exc.args[0]!r} key") from None
+        return cls(loss, regularizer, float(spec.get("strength", 0.0)))
+
+    # ------------------------------------------------------------------
     @property
     def is_regularized(self) -> bool:
         return self.regularizer.strength > 0.0

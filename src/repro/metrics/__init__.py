@@ -6,10 +6,11 @@ from .convergence import (ACCURACY_LOSS, ConvergenceResult,
 from .export import (history_to_rows, write_histories_json,
                      write_history_csv, write_trace_csv)
 from .gantt import KIND_CHARS, GanttSummary, render_ascii, summarize
+from .histogram import LatencyHistogram
 from .history import HistoryPoint, TrainingHistory
 from .plots import CURVE_GLYPHS, render_curves
-from .reporting import (RecoveryReport, format_speedup, format_table,
-                        recovery_report)
+from .reporting import (RecoveryReport, ServingReport, format_speedup,
+                        format_table, recovery_report, serving_report)
 
 __all__ = [
     "TrainingHistory", "HistoryPoint",
@@ -17,6 +18,7 @@ __all__ = [
     "evaluate_convergence", "speedup",
     "GanttSummary", "summarize", "render_ascii", "KIND_CHARS",
     "format_table", "format_speedup", "RecoveryReport", "recovery_report",
+    "LatencyHistogram", "ServingReport", "serving_report",
     "history_to_rows", "write_history_csv", "write_histories_json",
     "write_trace_csv",
     "render_curves", "CURVE_GLYPHS",

@@ -1,0 +1,135 @@
+"""Latency histograms for the serving layer.
+
+A :class:`LatencyHistogram` records per-request (simulated) latencies and
+answers two questions:
+
+* **exact quantiles** — p50/p95/p99 computed from the raw samples with a
+  deterministic nearest-rank rule (no interpolation, so results are
+  bit-identical across platforms and library versions);
+* **shape** — log-spaced bucket counts for display, the classic
+  "how wide is the tail" view SLO dashboards plot.
+
+Samples are simulated seconds (the repo has no wall clock — see rule
+DET001), but nothing here assumes a time unit.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Streaming latency recorder with exact nearest-rank quantiles.
+
+    Parameters
+    ----------
+    lo:
+        Lower edge of the first display bucket; smaller samples land in
+        an underflow bucket.
+    decades:
+        Number of decades the bucket grid spans above ``lo``.
+    buckets_per_decade:
+        Display resolution (10 gives ~25% wide buckets).
+    """
+
+    def __init__(self, lo: float = 1.0e-6, decades: int = 7,
+                 buckets_per_decade: int = 10) -> None:
+        if lo <= 0:
+            raise ValueError("lo must be positive")
+        if decades < 1 or buckets_per_decade < 1:
+            raise ValueError("need at least one decade and one bucket")
+        self._lo = lo
+        self._n_buckets = decades * buckets_per_decade + 1
+        self._per_decade = buckets_per_decade
+        # underflow bucket 0, log-spaced buckets, overflow bucket at end
+        self._counts = [0] * (self._n_buckets + 1)
+        self._samples: list[float] = []
+        self._total = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Add one latency sample (must be non-negative)."""
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append(value)
+        self._total += value
+        self._counts[self._bucket_index(value)] += 1
+
+    def _bucket_index(self, value: float) -> int:
+        if value < self._lo:
+            return 0
+        idx = 1 + int(math.floor(
+            math.log10(value / self._lo) * self._per_decade))
+        return min(idx, self._n_buckets)
+
+    def _bucket_edge(self, idx: int) -> float:
+        """Upper edge of bucket ``idx`` (0 = underflow)."""
+        return self._lo * 10.0 ** (idx / self._per_decade)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._total / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank quantile of the raw samples (q in [0, 100]).
+
+        ``percentile(50)`` of ``[1, 2, 3, 4]`` is 2: the smallest sample
+        whose rank covers q% of the data.  Deterministic and exact — a
+        value that was actually observed, never an interpolation.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        """The SLO numbers as a plain dict (JSON-exportable)."""
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def bucket_rows(self) -> list[list[object]]:
+        """Non-empty display buckets as ``[upper-edge, count, bar]`` rows.
+
+        Pairs with ``format_table(["<= seconds", "count", ""], rows)``.
+        """
+        rows: list[list[object]] = []
+        peak = max(self._counts) if self.count else 0
+        for idx, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            if idx == self._n_buckets:
+                label = f"> {self._bucket_edge(idx - 1):.3g}"
+            else:
+                label = f"<= {self._bucket_edge(idx):.3g}"
+            bar = "#" * max(1, round(24 * count / peak))
+            rows.append([label, count, bar])
+        return rows
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for value in other._samples:
+            self.record(value)

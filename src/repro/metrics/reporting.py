@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["format_table", "format_speedup", "RecoveryReport",
-           "recovery_report"]
+           "recovery_report", "ServingReport", "serving_report"]
 
 
 def format_table(headers: list[str], rows: list[list[object]],
@@ -83,3 +83,88 @@ def recovery_report(result) -> RecoveryReport:
         num_failures=len(result.failures),
         recovery_seconds=result.recovery_seconds,
         total_seconds=result.history.total_seconds)
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """SLO accounting for one :class:`repro.serve.PredictionService` run.
+
+    All times are simulated seconds from the serving cost model; QPS is
+    completed requests over the makespan (first arrival to last
+    completion).
+    """
+
+    offered: int
+    completed: int
+    shed: int
+    qps: float
+    mean_batch: float
+    max_queue_depth: int
+    p50: float
+    p95: float
+    p99: float
+    disagreements: int | None = None
+    shadow_rows: int | None = None
+    shadow_p99: float | None = None
+
+    @property
+    def shed_rate(self) -> float:
+        """Share of offered requests rejected at admission."""
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+    @property
+    def disagreement_rate(self) -> float | None:
+        """Share of shadow-scored rows where the versions disagree."""
+        if self.shadow_rows is None or self.disagreements is None:
+            return None
+        if self.shadow_rows == 0:
+            return 0.0
+        return self.disagreements / self.shadow_rows
+
+    HEADERS = ["offered", "completed", "shed", "shed %", "qps",
+               "mean batch", "max queue", "p50 s", "p95 s", "p99 s"]
+
+    def row(self) -> list[object]:
+        return [self.offered, self.completed, self.shed,
+                f"{self.shed_rate:.1%}", round(self.qps, 1),
+                round(self.mean_batch, 2), self.max_queue_depth,
+                round(self.p50, 6), round(self.p95, 6), round(self.p99, 6)]
+
+    def describe(self) -> str:
+        lines = [
+            f"offered {self.offered}, completed {self.completed}, "
+            f"shed {self.shed} ({self.shed_rate:.1%})",
+            f"throughput {self.qps:.1f} predictions/s (simulated), "
+            f"mean batch {self.mean_batch:.2f}, "
+            f"max queue depth {self.max_queue_depth}",
+            f"latency p50 {self.p50:.6f}s  p95 {self.p95:.6f}s  "
+            f"p99 {self.p99:.6f}s",
+        ]
+        rate = self.disagreement_rate
+        if rate is not None:
+            lines.append(
+                f"shadow: {self.disagreements}/{self.shadow_rows} "
+                f"disagreements ({rate:.2%}), "
+                f"shadow p99 {self.shadow_p99 or 0.0:.6f}s")
+        return "\n".join(lines)
+
+
+def serving_report(result) -> ServingReport:
+    """Summarize a ``ServingResult`` (duck-typed, like ``recovery_report``)."""
+    latency = result.latency.summary()
+    shadow = getattr(result, "shadow", None)
+    return ServingReport(
+        offered=result.offered,
+        completed=result.completed,
+        shed=len(result.shed),
+        qps=result.qps,
+        mean_batch=result.mean_batch,
+        max_queue_depth=result.max_queue_depth,
+        p50=latency.get("p50", 0.0),
+        p95=latency.get("p95", 0.0),
+        p99=latency.get("p99", 0.0),
+        disagreements=None if shadow is None else shadow.disagreements,
+        shadow_rows=None if shadow is None else shadow.rows,
+        shadow_p99=None if shadow is None else shadow.p99)

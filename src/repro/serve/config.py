@@ -1,0 +1,58 @@
+"""Serving configuration: batching, backpressure and capacity knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for the prediction service and its micro-batcher.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush the pending queue into one CSR batch as soon as this many
+        requests are waiting.  1 disables batching (every request is its
+        own dispatch) — the baseline the serving bench compares against.
+    max_delay:
+        Latency deadline in (simulated) seconds: a queued request is
+        dispatched no later than ``arrival + max_delay`` even if the
+        batch is not full.  This caps the latency cost of batching on a
+        quiet service.
+    queue_limit:
+        Bound on the admission queue.  When the queue is full, new
+        requests are *shed* (503-style rejection) instead of queued —
+        under overload the service degrades by refusing work, never by
+        letting latency grow without bound.
+    workers:
+        Size of the worker pool draining batches.  Concurrency is
+        simulated (deterministically) exactly like executor parallelism
+        in the training engines.
+    seed:
+        Seed for load generation when the service drives synthetic
+        traffic (``repro.serve.loadgen``); the service itself is
+        deterministic and never draws randomness.
+    """
+
+    max_batch: int = 32
+    max_delay: float = 1.0e-3
+    queue_limit: int = 128
+    workers: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    def with_overrides(self, **kwargs) -> "ServeConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

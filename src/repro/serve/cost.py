@@ -1,0 +1,65 @@
+"""Serving cost model: pricing one dispatched batch in simulated seconds.
+
+Same philosophy as :class:`repro.cluster.ComputeCostModel` — real math,
+simulated clock.  A dispatch pays a fixed per-batch overhead (request
+decode, task dispatch, response framing — the cost micro-batching exists
+to amortize) plus per-row bookkeeping plus the sparse matvec itself at
+the training cost model's nonzero rate.  With the defaults a single
+~10-nnz request costs ~51us while a full 32-row batch costs ~88us —
+micro-batching buys an order of magnitude of throughput, which is the
+effect the serving bench measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServingCostModel"]
+
+
+@dataclass(frozen=True)
+class ServingCostModel:
+    """Prices a batched prediction dispatch in simulated seconds.
+
+    Parameters
+    ----------
+    dispatch_overhead_seconds:
+        Fixed cost per dispatched batch, independent of its size.
+    sec_per_row:
+        Per-example bookkeeping inside a batch (response assembly).
+    sec_per_nnz:
+        Seconds per stored nonzero of the stacked batch matrix; defaults
+        to the training cost model's reference rate.
+    """
+
+    dispatch_overhead_seconds: float = 5.0e-5
+    sec_per_row: float = 1.0e-6
+    sec_per_nnz: float = 2.0e-8
+
+    def __post_init__(self) -> None:
+        if self.dispatch_overhead_seconds < 0:
+            raise ValueError("dispatch_overhead_seconds must be "
+                             "non-negative")
+        if self.sec_per_row <= 0:
+            raise ValueError("sec_per_row must be positive")
+        if self.sec_per_nnz <= 0:
+            raise ValueError("sec_per_nnz must be positive")
+
+    def batch_seconds(self, rows: int, nnz: int) -> float:
+        """Service time of one dispatched batch."""
+        if rows < 1:
+            raise ValueError("a batch has at least one row")
+        if nnz < 0:
+            raise ValueError("nnz must be non-negative")
+        return (self.dispatch_overhead_seconds
+                + rows * self.sec_per_row + nnz * self.sec_per_nnz)
+
+    def saturation_qps(self, workers: int, batch: int,
+                       nnz_per_row: float) -> float:
+        """Rows/second the pool sustains at a fixed batch size.
+
+        The capacity planning helper behind the serving bench's rate
+        sweep: offered load above this rate *must* shed.
+        """
+        per_batch = self.batch_seconds(batch, round(batch * nnz_per_row))
+        return workers * batch / per_batch

@@ -1,0 +1,189 @@
+"""Versioned on-disk model registry.
+
+Layout (one directory per model name, one artifact per version)::
+
+    <root>/
+      <name>/
+        v0001.npz      # GLMModel artifact (weights + metadata + digest)
+        v0002.npz
+        PROMOTED       # text file naming the serving version ("v0001")
+
+Versions are immutable and monotonically numbered; ``PROMOTED`` is the
+only mutable state and is written atomically (tmp file + rename).
+:meth:`ModelRegistry.promote` verifies the artifact's SHA-256 digest
+*before* repointing, so a corrupted artifact can never become the
+serving version.  :meth:`ModelRegistry.load_model` with no version
+resolves the promoted version, falling back to the latest — which makes
+"train, save, promote, serve" and "train, save, serve" both one-liners.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..glm import GLMModel, read_artifact_meta
+
+__all__ = ["ModelRegistry", "RegistryError", "VersionInfo"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+_PROMOTED_FILE = "PROMOTED"
+
+
+class RegistryError(Exception):
+    """A registry operation referenced a missing name/version, or the
+    registry state on disk is inconsistent."""
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """One registered version's metadata (no weights loaded)."""
+
+    name: str
+    version: str
+    path: Path
+    dim: int
+    objective: dict
+    provenance: dict
+    digest: str
+    promoted: bool
+
+    def row(self) -> list[object]:
+        """Pairs with ``format_table(["version", "dim", "objective",
+        "digest", "promoted"], ...)`` in the CLI."""
+        objective = (f"{self.objective.get('loss')}"
+                     f"+{self.objective.get('regularizer')}"
+                     f"({self.objective.get('strength', 0):g})")
+        return [self.version, self.dim, objective, self.digest[:12],
+                "*" if self.promoted else ""]
+
+
+class ModelRegistry:
+    """Filesystem-backed model store with promotion.
+
+    The root directory is created lazily on the first save; every other
+    operation raises :class:`RegistryError` when the name (or version)
+    does not exist.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def save_model(self, model: GLMModel, name: str,
+                   provenance: dict | None = None) -> str:
+        """Store ``model`` as the next version of ``name``; return it."""
+        self._check_name(name)
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+        version = f"v{self._next_number(model_dir):04d}"
+        model.save(model_dir / f"{version}.npz", provenance=provenance)
+        return version
+
+    def load_model(self, name: str, version: str | None = None) -> GLMModel:
+        """Load a version (default: promoted, else latest), verified."""
+        return GLMModel.load(self.resolve(name, version))
+
+    def list_versions(self, name: str) -> list[VersionInfo]:
+        """All versions of ``name``, oldest first, with metadata."""
+        model_dir = self._model_dir(name)
+        promoted = self.promoted_version(name)
+        infos = []
+        for version, path in self._versions(model_dir):
+            meta = read_artifact_meta(path)
+            infos.append(VersionInfo(
+                name=name, version=version, path=path,
+                dim=int(meta.get("dim", 0)),
+                objective=dict(meta.get("objective", {})),
+                provenance=dict(meta.get("provenance", {})),
+                digest=str(meta.get("digest", "")),
+                promoted=(version == promoted)))
+        return infos
+
+    def promote(self, name: str, version: str) -> None:
+        """Mark ``version`` as the serving version of ``name``.
+
+        The artifact is fully loaded and digest-verified first — a
+        corrupted candidate fails here, leaving the previous promotion
+        in place.
+        """
+        path = self.resolve(name, version)
+        GLMModel.load(path)  # digest gate; raises ArtifactError on rot
+        pointer = self._model_dir(name) / _PROMOTED_FILE
+        tmp = pointer.with_suffix(".tmp")
+        tmp.write_text(version + "\n", encoding="ascii")
+        tmp.replace(pointer)
+
+    def promoted_version(self, name: str) -> str | None:
+        """The promoted version id of ``name``, or None."""
+        pointer = self._model_dir(name) / _PROMOTED_FILE
+        if not pointer.is_file():
+            return None
+        version = pointer.read_text(encoding="ascii").strip()
+        if not _VERSION_RE.match(version):
+            raise RegistryError(
+                f"{pointer}: malformed promotion pointer {version!r}")
+        return version
+
+    # ------------------------------------------------------------------
+    def resolve(self, name: str, version: str | None = None) -> Path:
+        """Path of a version's artifact (default promoted, else latest)."""
+        model_dir = self._model_dir(name)
+        if version is None:
+            version = self.promoted_version(name)
+        if version is None:
+            versions = self._versions(model_dir)
+            version = versions[-1][0]  # _model_dir guarantees non-empty
+        path = model_dir / f"{version}.npz"
+        if not path.is_file():
+            known = [v for v, _ in self._versions(model_dir)]
+            raise RegistryError(
+                f"model {name!r} has no version {version!r}; "
+                f"known versions: {known}")
+        return path
+
+    def model_names(self) -> list[str]:
+        """Registered model names (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and self._versions(p))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}: use letters, digits, "
+                "'-', '_' and '.' only")
+
+    def _model_dir(self, name: str) -> Path:
+        self._check_name(name)
+        model_dir = self.root / name
+        if not model_dir.is_dir() or not self._versions(model_dir):
+            raise RegistryError(
+                f"no model named {name!r} in registry {self.root} "
+                f"(known: {self.model_names()})")
+        return model_dir
+
+    @staticmethod
+    def _versions(model_dir: Path) -> list[tuple[str, Path]]:
+        """(version, path) pairs present on disk, sorted by number."""
+        found = []
+        for path in model_dir.glob("v*.npz"):
+            match = _VERSION_RE.match(path.stem)
+            if match:
+                found.append((int(match.group(1)), path.stem, path))
+        found.sort()
+        return [(stem, path) for _, stem, path in found]
+
+    @staticmethod
+    def _next_number(model_dir: Path) -> int:
+        numbers = [0]
+        for path in model_dir.glob("v*.npz"):
+            match = _VERSION_RE.match(path.stem)
+            if match:
+                numbers.append(int(match.group(1)))
+        return max(numbers) + 1

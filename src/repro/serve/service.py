@@ -1,0 +1,299 @@
+"""The prediction service: admission, micro-batching, workers, shadowing.
+
+:class:`PredictionService` is a deterministic discrete-event server in
+the same mold as the training engines — the predictions are real scipy
+math, the clock is simulated (rule DET001: the simulated clock is the
+only clock).  ``process`` replays a stream of arrival-stamped requests
+through:
+
+1. **admission** — the bounded :class:`~repro.serve.batching.MicroBatcher`
+   queue; requests arriving at a full queue are shed (503-style) and
+   counted, which is what keeps tail latency bounded under overload;
+2. **dispatch** — a batch leaves the queue when it is full or its oldest
+   request hits the ``max_delay`` deadline, and starts on the earliest
+   free worker of a fixed-size pool (ties broken by worker index, so
+   runs are reproducible);
+3. **service** — the batch's rows are stacked into one CSR matrix and
+   scored with a single ``X @ w`` (bit-identical to scoring rows one by
+   one), priced by :class:`~repro.serve.cost.ServingCostModel`;
+4. **shadowing** (optional) — the same batch is teed to a second model
+   version on a mirrored worker pool; per-row prediction disagreements
+   and the shadow's own latency distribution are recorded without
+   affecting primary responses.
+
+Event ordering convention: a dispatch scheduled for exactly the same
+instant as an arrival happens *before* the arrival is admitted, so a
+request never gets shed by a queue that was already draining at its
+arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..glm import GLMModel
+from ..metrics import LatencyHistogram
+from .batching import MicroBatcher, PredictRequest, Prediction, stack_requests
+from .config import ServeConfig
+from .cost import ServingCostModel
+
+__all__ = ["PredictionService", "ServingResult", "ShadowComparison"]
+
+
+@dataclass(frozen=True)
+class ShadowComparison:
+    """Per-version comparison collected by shadow/canary mode."""
+
+    primary_version: str
+    shadow_version: str
+    rows: int
+    disagreements: int
+    latency: LatencyHistogram
+    primary_latency: LatencyHistogram
+
+    @property
+    def disagreement_rate(self) -> float:
+        if self.rows == 0:
+            return 0.0
+        return self.disagreements / self.rows
+
+    @property
+    def p99(self) -> float:
+        return self.latency.percentile(99) if self.latency.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "primary_version": self.primary_version,
+            "shadow_version": self.shadow_version,
+            "rows": self.rows,
+            "disagreements": self.disagreements,
+            "disagreement_rate": self.disagreement_rate,
+            "latency": self.latency.summary(),
+            "primary_latency": self.primary_latency.summary(),
+        }
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything one ``process`` run produced and measured."""
+
+    predictions: tuple[Prediction, ...]
+    shed: tuple[int, ...]
+    offered: int
+    batch_sizes: tuple[int, ...]
+    max_queue_depth: int
+    latency: LatencyHistogram
+    shadow: ShadowComparison | None = None
+
+    @property
+    def completed(self) -> int:
+        return len(self.predictions)
+
+    @property
+    def shed_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return len(self.shed) / self.offered
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def makespan(self) -> float:
+        """First arrival to last completion, simulated seconds."""
+        if not self.predictions:
+            return 0.0
+        first = min(p.arrival for p in self.predictions)
+        last = max(p.completed for p in self.predictions)
+        return last - first
+
+    @property
+    def qps(self) -> float:
+        """Completed predictions per simulated second."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return self.completed / span
+
+    def by_id(self) -> dict[int, Prediction]:
+        """Predictions keyed by request id (for response routing)."""
+        return {p.request_id: p for p in self.predictions}
+
+    def summary(self) -> dict:
+        """JSON-exportable run summary (the bench's output rows)."""
+        payload = {
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": len(self.shed),
+            "shed_rate": self.shed_rate,
+            "qps": self.qps,
+            "mean_batch": self.mean_batch,
+            "max_queue_depth": self.max_queue_depth,
+            "makespan": self.makespan,
+            "latency": self.latency.summary(),
+        }
+        if self.shadow is not None:
+            payload["shadow"] = self.shadow.summary()
+        return payload
+
+
+@dataclass
+class _PoolState:
+    """Mutable event-loop state for one ``process`` run."""
+
+    workers: list[float]
+    shadow_workers: list[float]
+    predictions: list[Prediction] = field(default_factory=list)
+    shed: list[int] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)
+    max_queue_depth: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    shadow_latency: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+    shadow_primary_latency: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+    shadow_rows: int = 0
+    disagreements: int = 0
+
+
+class PredictionService:
+    """Micro-batched model serving over a simulated clock.
+
+    Parameters
+    ----------
+    model:
+        The primary :class:`~repro.glm.GLMModel` answering requests.
+    config:
+        Batching/backpressure/capacity knobs.
+    cost:
+        Cost model pricing each dispatch (defaults are calibrated to the
+        training cost model's nonzero rate).
+    shadow:
+        Optional second model (a canary candidate); every batch is teed
+        to it on a mirrored worker pool and per-row disagreements are
+        counted.  Must share the primary's feature dimension.
+    shadow_cost:
+        Cost model for the shadow version (defaults to ``cost`` — pass a
+        slower one to model a heavier candidate).
+    primary_version / shadow_version:
+        Labels carried into the shadow report (registry version ids).
+    """
+
+    def __init__(self, model: GLMModel, config: ServeConfig | None = None,
+                 cost: ServingCostModel | None = None,
+                 shadow: GLMModel | None = None,
+                 shadow_cost: ServingCostModel | None = None,
+                 primary_version: str = "primary",
+                 shadow_version: str = "shadow") -> None:
+        self.model = model
+        self.config = config or ServeConfig()
+        self.cost = cost or ServingCostModel()
+        self.shadow = shadow
+        self.shadow_cost = shadow_cost or self.cost
+        self.primary_version = primary_version
+        self.shadow_version = shadow_version
+        if shadow is not None and shadow.dim != model.dim:
+            raise ValueError(
+                f"shadow model has dim {shadow.dim}, primary has "
+                f"{model.dim}; shadow mode needs a shared feature space")
+
+    # ------------------------------------------------------------------
+    def process(self, requests: list[PredictRequest]) -> ServingResult:
+        """Replay an arrival-ordered request stream; return the result."""
+        cfg = self.config
+        batcher = MicroBatcher(cfg.max_batch, cfg.max_delay,
+                               cfg.queue_limit)
+        state = _PoolState(workers=[0.0] * cfg.workers,
+                           shadow_workers=[0.0] * cfg.workers)
+        last_arrival = 0.0
+        for request in requests:
+            if request.arrival < last_arrival:
+                raise ValueError(
+                    "requests must be sorted by arrival time")
+            last_arrival = request.arrival
+            self._drain(batcher, state, until=request.arrival)
+            if batcher.offer(request):
+                state.max_queue_depth = max(state.max_queue_depth,
+                                            batcher.depth)
+            else:
+                state.shed.append(request.request_id)
+        self._drain(batcher, state, until=None)
+        shadow = None
+        if self.shadow is not None:
+            shadow = ShadowComparison(
+                primary_version=self.primary_version,
+                shadow_version=self.shadow_version,
+                rows=state.shadow_rows,
+                disagreements=state.disagreements,
+                latency=state.shadow_latency,
+                primary_latency=state.shadow_primary_latency)
+        return ServingResult(
+            predictions=tuple(state.predictions),
+            shed=tuple(state.shed),
+            offered=len(requests),
+            batch_sizes=tuple(state.batch_sizes),
+            max_queue_depth=state.max_queue_depth,
+            latency=state.latency,
+            shadow=shadow)
+
+    # ------------------------------------------------------------------
+    def _drain(self, batcher: MicroBatcher, state: _PoolState,
+               until: float | None) -> None:
+        """Dispatch every batch that becomes ready up to time ``until``.
+
+        ``None`` drains the queue completely (end of the request
+        stream).  Dispatches scheduled exactly at ``until`` run now —
+        see the event-ordering convention in the module docstring.
+        """
+        while True:
+            ready = batcher.next_flush_time()
+            if ready is None:
+                return
+            idx = min(range(len(state.workers)),
+                      key=lambda i: (state.workers[i], i))
+            start = max(ready, state.workers[idx])
+            if until is not None and start > until:
+                return
+            self._serve_batch(batcher.take(), start, idx, state)
+
+    def _serve_batch(self, batch: list[PredictRequest], start: float,
+                     worker: int, state: _PoolState) -> None:
+        X = stack_requests(batch)
+        margins = self.model.decision_function(X)
+        labels = np.where(margins >= 0, 1.0, -1.0)
+        completed = start + self.cost.batch_seconds(len(batch), int(X.nnz))
+        state.workers[worker] = completed
+        state.batch_sizes.append(len(batch))
+        for request, margin, label in zip(batch, margins, labels):
+            state.predictions.append(Prediction(
+                request_id=request.request_id, margin=float(margin),
+                label=float(label), arrival=request.arrival,
+                dispatched=start, completed=completed))
+            state.latency.record(completed - request.arrival)
+        if self.shadow is not None:
+            self._shadow_batch(batch, X, labels, start, completed, state)
+
+    def _shadow_batch(self, batch: list[PredictRequest], X, labels,
+                      start: float, primary_completed: float,
+                      state: _PoolState) -> None:
+        """Tee the batch through the shadow version (no response impact)."""
+        idx = min(range(len(state.shadow_workers)),
+                  key=lambda i: (state.shadow_workers[i], i))
+        shadow_start = max(start, state.shadow_workers[idx])
+        shadow_completed = shadow_start + self.shadow_cost.batch_seconds(
+            len(batch), int(X.nnz))
+        state.shadow_workers[idx] = shadow_completed
+        assert self.shadow is not None
+        shadow_margins = self.shadow.decision_function(X)
+        shadow_labels = np.where(shadow_margins >= 0, 1.0, -1.0)
+        state.shadow_rows += len(batch)
+        state.disagreements += int(np.sum(shadow_labels != labels))
+        for request in batch:
+            state.shadow_latency.record(shadow_completed - request.arrival)
+            state.shadow_primary_latency.record(
+                primary_completed - request.arrival)

@@ -1,0 +1,47 @@
+"""Regenerate the committed tiny serving fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/data/make_tiny_artifact.py
+
+Produces ``tests/data/tiny.libsvm`` (a 24x10 synthetic dataset) and
+``tests/data/tiny_model.npz`` (an MLlib* model trained on it for two
+steps).  CI's smoke job scores the dataset with the artifact via
+``python -m repro predict``; ``tests/test_serve_registry.py`` asserts
+the committed artifact still loads and predicts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cluster import cluster1
+from repro.core import MLlibStarTrainer, TrainerConfig
+from repro.data import SyntheticSpec, generate, write_libsvm
+from repro.glm import Objective
+
+DATA_DIR = Path(__file__).parent
+LIBSVM_PATH = DATA_DIR / "tiny.libsvm"
+MODEL_PATH = DATA_DIR / "tiny_model.npz"
+
+
+def main() -> None:
+    dataset = generate(SyntheticSpec(n_rows=24, n_features=10,
+                                     nnz_per_row=4.0, noise=0.05, seed=7),
+                       name="tiny")
+    write_libsvm(dataset, LIBSVM_PATH)
+    config = TrainerConfig(max_steps=2, learning_rate=0.5,
+                           lr_schedule="inv_sqrt", local_chunk_size=8,
+                           seed=1)
+    result = MLlibStarTrainer(Objective("hinge", "l2", 0.1),
+                              cluster1(executors=2), config).fit(dataset)
+    path = result.model.save(MODEL_PATH, provenance={
+        "system": "MLlib*", "dataset": "tiny", "steps": 2,
+        "generator": "tests/data/make_tiny_artifact.py"})
+    acc = result.model.accuracy(dataset.X, dataset.y)
+    print(f"wrote {LIBSVM_PATH}")
+    print(f"wrote {path} (training accuracy {acc:.3f})")
+
+
+if __name__ == "__main__":
+    main()

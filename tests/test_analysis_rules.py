@@ -288,6 +288,33 @@ def test_cfg001_noqa_on_field_line_suppresses(tmp_path):
     assert [v.rule for v in result.suppressed] == ["CFG001"]
 
 
+def test_cfg001_covers_serve_config_too(tmp_path):
+    config = ("from dataclasses import dataclass\n"
+              "\n\n"
+              "@dataclass(frozen=True)\n"
+              "class ServeConfig:\n"
+              "    max_batch: int = 32\n"
+              "    secret_knob: int = 1\n")
+    cli = ("def make_serve(args):\n"
+           "    return dict(max_batch=args.serve_max_batch)\n")
+    result = _write_cfg_project(tmp_path, config, cli)
+    assert [v.rule for v in result.violations] == ["CFG001"]
+    assert "ServeConfig.secret_knob" in result.violations[0].message
+
+
+def test_cfg001_checks_every_config_class(tmp_path):
+    # one wired class does not excuse another class's unwired field
+    config = (CFG_CONFIG
+              + "\n\n@dataclass(frozen=True)\n"
+                "class ServeConfig:\n"
+                "    workers: int = 2\n")
+    cli = ("def make(args):\n"
+           "    return dict(max_steps=1, learning_rate=0.1,\n"
+           "                hidden_knob=2.0, workers=args.w)\n")
+    result = _write_cfg_project(tmp_path, config, cli)
+    assert result.violations == []
+
+
 def test_cfg001_silent_without_config_class(tmp_path):
     (tmp_path / "misc.py").write_text("x = 1\n")
     result = run_analysis([tmp_path], select=["CFG001"])

@@ -1,0 +1,113 @@
+"""MicroBatcher semantics and bit-exact request stacking."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.serve import MicroBatcher, PredictRequest, stack_requests
+
+
+def req(request_id, arrival, row=(1.0, 0.0, 2.0)):
+    features = sp.csr_matrix(np.array([row], dtype=np.float64))
+    return PredictRequest(request_id=request_id, features=features,
+                          arrival=arrival)
+
+
+class TestPredictRequest:
+    def test_single_row_enforced(self):
+        two_rows = sp.csr_matrix(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="exactly one feature row"):
+            PredictRequest(request_id=0, features=two_rows, arrival=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            req(0, -1.0)
+
+    def test_nnz(self):
+        assert req(0, 0.0, row=(1.0, 0.0, 2.0)).nnz == 2
+
+
+class TestStackRequests:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            stack_requests([])
+
+    def test_preserves_row_order_and_dot_products(self):
+        rng = np.random.default_rng(2)
+        rows = [sp.random(1, 40, density=0.2, format="csr",
+                          random_state=np.random.RandomState(i))
+                for i in range(7)]
+        requests = [PredictRequest(request_id=i, features=r.tocsr(),
+                                   arrival=float(i))
+                    for i, r in enumerate(rows)]
+        stacked = stack_requests(requests)
+        assert stacked.shape == (7, 40)
+        w = rng.normal(size=40)
+        batched = stacked @ w
+        for i, r in enumerate(requests):
+            # bit-identical, not merely close: same nonzero order, same
+            # accumulation order as a standalone row @ w
+            assert batched[i] == (r.features @ w)[0]
+
+    def test_single_request_passthrough(self):
+        r = req(0, 0.0)
+        assert stack_requests([r]) is r.features
+
+
+class TestMicroBatcher:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(0, 1.0, 1)
+        with pytest.raises(ValueError, match="max_delay"):
+            MicroBatcher(1, -1.0, 1)
+        with pytest.raises(ValueError, match="queue_limit"):
+            MicroBatcher(1, 1.0, 0)
+
+    def test_offer_enforces_arrival_order(self):
+        batcher = MicroBatcher(4, 1.0, 10)
+        assert batcher.offer(req(0, 5.0))
+        with pytest.raises(ValueError, match="arrival order"):
+            batcher.offer(req(1, 4.0))
+
+    def test_offer_refuses_past_queue_limit(self):
+        batcher = MicroBatcher(max_batch=8, max_delay=1.0, queue_limit=2)
+        assert batcher.offer(req(0, 0.0))
+        assert batcher.offer(req(1, 0.0))
+        assert not batcher.offer(req(2, 0.0))
+        assert batcher.depth == 2
+
+    def test_flush_on_deadline(self):
+        batcher = MicroBatcher(max_batch=10, max_delay=0.05, queue_limit=99)
+        assert batcher.next_flush_time() is None
+        batcher.offer(req(0, 1.0))
+        batcher.offer(req(1, 1.02))
+        # the *oldest* pending request sets the deadline
+        assert batcher.next_flush_time() == pytest.approx(1.05)
+
+    def test_flush_on_size(self):
+        batcher = MicroBatcher(max_batch=3, max_delay=0.05, queue_limit=99)
+        batcher.offer(req(0, 1.0))
+        batcher.offer(req(1, 1.01))
+        batcher.offer(req(2, 1.02))
+        # a full batch is ready the instant its last member arrived,
+        # not at the deadline
+        assert batcher.next_flush_time() == 1.02
+
+    def test_take_pops_at_most_max_batch(self):
+        batcher = MicroBatcher(max_batch=3, max_delay=0.05, queue_limit=99)
+        for i in range(5):
+            batcher.offer(req(i, float(i)))
+        first = batcher.take()
+        assert [r.request_id for r in first] == [0, 1, 2]
+        assert batcher.depth == 2
+        assert [r.request_id for r in batcher.take()] == [3, 4]
+        with pytest.raises(ValueError, match="no pending"):
+            batcher.take()
+
+    def test_deadline_advances_after_take(self):
+        batcher = MicroBatcher(max_batch=2, max_delay=0.1, queue_limit=99)
+        for i in range(3):
+            batcher.offer(req(i, float(i)))
+        batcher.take()
+        # request 2 is now the oldest pending
+        assert batcher.next_flush_time() == pytest.approx(2.1)
