@@ -209,7 +209,14 @@ class AmbientNondeterminism(Rule):
 # DET002 — unordered iteration on aggregation paths
 # ----------------------------------------------------------------------
 class UnorderedIteration(Rule):
-    """No iteration over sets where numeric accumulation happens."""
+    """No iteration over sets where numeric accumulation happens.
+
+    Scope: the collectives package (including the sparse wire format in
+    ``collectives/sparse.py``, where iterating a *set* of coordinate
+    indices would scramble payload order), the parameter-server package,
+    and the engine's aggregation/driver cost path (which now also carries
+    per-message wire accounting).
+    """
 
     id = "DET002"
     summary = ("iteration over set/frozenset on an aggregation path: "
@@ -219,7 +226,7 @@ class UnorderedIteration(Rule):
     def applies_to(self, path: Path) -> bool:
         parts = path.parts
         return ("collectives" in parts or "ps" in parts
-                or path.name == "aggregation.py")
+                or path.name in ("aggregation.py", "driver.py"))
 
     def check(self, src: "SourceFile") -> Iterator[Violation]:
         for node in ast.walk(src.tree):

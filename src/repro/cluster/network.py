@@ -88,6 +88,19 @@ class NetworkModel:
             raise ValueError("senders must be non-negative")
         return senders * self.transfer_seconds(values_each)
 
+    def fan_in_varied_seconds(self, values_by_message: tuple[float, ...] | list[float]) -> float:
+        """Cost of a fan-in whose messages differ in size.
+
+        Same serialized-downlink pattern as :meth:`fan_in_seconds`, but
+        each message is priced individually — the shape sparse payloads
+        produce, where every sender ships its own support.  Equal-sized
+        messages reduce to ``fan_in_seconds(len(values), size)`` exactly.
+        """
+        total = 0.0
+        for values in values_by_message:
+            total += self.transfer_seconds(values)
+        return total
+
     def fan_out_seconds(self, receivers: int, values_each: float) -> float:
         """Cost of ONE node pushing a message to ``receivers`` nodes.
 

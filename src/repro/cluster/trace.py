@@ -44,6 +44,10 @@ class Span:
     end: float
     kind: str
     step: int = -1
+    #: Wire volume (in model/gradient values) the span moved; 0.0 for
+    #: non-transfer spans.  Sparse-comm sends record their actual encoded
+    #: size here, so traffic counters can be read straight off the trace.
+    values: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in SPAN_KINDS:
@@ -52,6 +56,8 @@ class Span:
         if self.end < self.start:
             raise ValueError(
                 f"span ends ({self.end}) before it starts ({self.start})")
+        if self.values < 0:
+            raise ValueError("span wire values must be non-negative")
 
     @property
     def duration(self) -> float:
@@ -65,11 +71,19 @@ class Trace:
         self._spans: list[Span] = []
 
     def add(self, node: str, start: float, end: float, kind: str,
-            step: int = -1) -> Span:
+            step: int = -1, values: float = 0.0) -> Span:
         """Record one span and return it."""
-        span = Span(node=node, start=start, end=end, kind=kind, step=step)
+        span = Span(node=node, start=start, end=end, kind=kind, step=step,
+                    values=values)
         self._spans.append(span)
         return span
+
+    def traffic_values(self, node: str | None = None,
+                       step: int | None = None) -> float:
+        """Total wire volume recorded on spans, optionally filtered."""
+        return sum(s.values for s in self._spans
+                   if (node is None or s.node == node)
+                   and (step is None or s.step == step))
 
     @property
     def spans(self) -> tuple[Span, ...]:

@@ -1,7 +1,16 @@
 """MPI-style collectives (Reduce-Scatter, AllGather, AllReduce) on shuffle."""
 
 from .allreduce import (all_gather, all_reduce_average, all_reduce_weighted,
-                        partition_slices, reduce_scatter, traffic_values)
+                        combine_weight_scale, partition_slices,
+                        reduce_scatter, traffic_values)
+from .sparse import (SPARSE_COMM_MODES, CommStats, SparsePayload, TreeWire,
+                     encode, materialize, payload_wire_values,
+                     sparse_all_gather, sparse_reduce_scatter,
+                     tree_fan_in_wire, wire_values)
 
-__all__ = ["partition_slices", "reduce_scatter", "all_gather",
-           "all_reduce_average", "all_reduce_weighted", "traffic_values"]
+__all__ = ["partition_slices", "combine_weight_scale", "reduce_scatter",
+           "all_gather", "all_reduce_average", "all_reduce_weighted",
+           "traffic_values", "SPARSE_COMM_MODES", "SparsePayload",
+           "CommStats", "TreeWire", "encode", "materialize",
+           "payload_wire_values", "wire_values", "sparse_reduce_scatter",
+           "sparse_all_gather", "tree_fan_in_wire"]

@@ -24,13 +24,16 @@ all-to-all instead of a serialized fan-in (costs are priced by
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..analysis.sanitizer import check_replicas as _check_replicas
 from ..engine.shuffle import exchange
 
-__all__ = ["partition_slices", "reduce_scatter", "all_gather",
-           "all_reduce_average", "all_reduce_weighted", "traffic_values"]
+__all__ = ["partition_slices", "combine_weight_scale", "reduce_scatter",
+           "all_gather", "all_reduce_average", "all_reduce_weighted",
+           "traffic_values"]
 
 
 def partition_slices(model_size: int, num_workers: int) -> list[slice]:
@@ -48,6 +51,31 @@ def partition_slices(model_size: int, num_workers: int) -> list[slice]:
     bounds = np.linspace(0, model_size, num_workers + 1).astype(int)
     return [slice(int(bounds[i]), int(bounds[i + 1]))
             for i in range(num_workers)]
+
+
+def combine_weight_scale(combine: str, weights: list[float] | None,
+                         num_workers: int) -> np.ndarray | None:
+    """Validate a combine/weights pairing; return the normalized scale.
+
+    Returns the normalized weight vector for ``combine='weighted'`` and
+    ``None`` for the unweighted schemes.  Raises :class:`ValueError` when
+    ``weights`` is passed with a combine that ignores it (previously a
+    silent no-op) or when any weight is non-positive or non-finite (NaN
+    and inf used to slip past the positivity check and poison the
+    combined model).
+    """
+    if combine != "weighted":
+        if weights is not None:
+            raise ValueError(
+                f"weights are only valid with combine='weighted', "
+                f"not combine={combine!r}")
+        return None
+    if weights is None or len(weights) != num_workers:
+        raise ValueError("weighted combine needs one weight per model")
+    if any(not math.isfinite(w) or w <= 0 for w in weights):
+        raise ValueError("weights must be positive and finite")
+    scale = np.asarray(weights, dtype=np.float64)
+    return scale / scale.sum()
 
 
 def reduce_scatter(models: list[np.ndarray], combine: str = "average",
@@ -74,13 +102,7 @@ def reduce_scatter(models: list[np.ndarray], combine: str = "average",
     m = models[0].shape[0]
     if any(w.shape != (m,) for w in models):
         raise ValueError("all local models must have the same shape")
-    if combine == "weighted":
-        if weights is None or len(weights) != k:
-            raise ValueError("weighted combine needs one weight per model")
-        if any(w <= 0 for w in weights):
-            raise ValueError("weights must be positive")
-        scale = np.asarray(weights, dtype=np.float64)
-        scale = scale / scale.sum()
+    scale = combine_weight_scale(combine, weights, k)
     slices = partition_slices(m, k)
 
     # Worker r routes slice i of its local model to owner i (including the
@@ -92,7 +114,7 @@ def reduce_scatter(models: list[np.ndarray], combine: str = "average",
     partitions: list[np.ndarray] = []
     for owner, pieces in enumerate(inboxes):
         stacked = np.vstack(pieces)
-        if combine == "weighted":
+        if scale is not None:
             combined = scale @ stacked
         else:
             combined = stacked.sum(axis=0)

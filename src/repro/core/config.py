@@ -83,6 +83,15 @@ class TrainerConfig:
         stay bit-identical.  Monitoring only — a clean run is
         bit-identical with or without it.  See
         :mod:`repro.analysis.sanitizer`.
+    sparse_comm:
+        Communication wire format: ``off`` (the paper's dense ``2 k m``
+        exchange — the default, keeping priced seconds bit-identical to
+        the dense engine), ``auto`` (SparCML-style index/value encoding
+        per message whenever ``nnz < m / 2``), or ``on`` (force sparse
+        encoding, useful to demonstrate the crossover).  Sparsity changes
+        priced communication cost only, never the numerics — iterates are
+        bit-identical across all three modes.  See
+        :mod:`repro.collectives.sparse`.
     """
 
     learning_rate: float = 0.1
@@ -104,6 +113,7 @@ class TrainerConfig:
     checkpoint_every: int = 0
     restart_seconds: float = 1.0
     sanitize: bool = False
+    sparse_comm: str = "off"
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -133,6 +143,8 @@ class TrainerConfig:
             raise ValueError("checkpoint_every must be non-negative")
         if self.restart_seconds < 0:
             raise ValueError("restart_seconds must be non-negative")
+        if self.sparse_comm not in ("auto", "on", "off"):
+            raise ValueError("sparse_comm must be 'auto', 'on' or 'off'")
 
     def with_overrides(self, **kwargs) -> "TrainerConfig":
         """Return a copy with the given fields replaced."""

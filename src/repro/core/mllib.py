@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
+from ..collectives import tree_fan_in_wire
 from ..engine import (BroadcastModel, BspEngine, PartitionedDataset,
                       TreeAggregateModel)
 from ..glm import Objective, apply_update, sample_batch
@@ -77,11 +78,12 @@ class MLlibTrainer(DistributedTrainer):
         waves = self.config.tasks_per_executor
         launch = self.cluster.compute.task_launch_seconds
         gradients: list[np.ndarray] = []
+        task_grads_by_executor: list[list[np.ndarray]] = []
         durations: list[float] = []
         for i, part in enumerate(data.partitions):
             batch = self._batch_size(part.n_rows)
             per_task = max(1, batch // waves)
-            task_grads = []
+            task_grads: list[np.ndarray] = []
             seconds = 0.0
             for _ in range(waves):
                 Xb, yb = sample_batch(part.X, part.y, per_task,
@@ -91,14 +93,23 @@ class MLlibTrainer(DistributedTrainer):
                 seconds += (launch
                             + self._compute_seconds(2 * int(Xb.nnz), 0, i))
             gradients.append(np.mean(task_grads, axis=0))
+            task_grads_by_executor.append(task_grads)
             durations.append(seconds)
         engine.compute_phase(durations, step)
 
         # Phase 2: hierarchical aggregation — one message per task.  An
         # executor crashing here recomputes its batch gradients (the
-        # in-memory vectors die with it) before resending.
+        # in-memory vectors die with it) before resending.  Under
+        # --sparse-comm each task's message is priced at its gradient's
+        # support (the batch's column support, far smaller than m).
+        mode = self.config.sparse_comm
+        wire = None
+        if mode != "off":
+            wire = tree_fan_in_wire(
+                task_grads_by_executor,
+                engine.tree.plan(data.num_partitions), m, mode)
         engine.tree_aggregate_phase(m, step, messages_per_executor=waves,
-                                    redo_seconds=durations)
+                                    redo_seconds=durations, wire=wire)
 
         # Phase 3: the single model update at the driver (bottleneck B1).
         mean_grad = np.mean(gradients, axis=0)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
+from ..collectives import tree_fan_in_wire
 from ..engine import (BroadcastModel, BspEngine, PartitionedDataset,
                       TreeAggregateModel)
 from ..glm import Objective
@@ -78,8 +79,17 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
         # Phase 2: unchanged MLlib communication — models (not gradients)
         # flow through treeAggregate to the driver...  A crash here costs
         # the executor its local model, so it redoes its local SGD passes
-        # before resending.
-        engine.tree_aggregate_phase(m, step, redo_seconds=durations)
+        # before resending.  Under --sparse-comm each local model's
+        # message is priced at its support (the coordinates local SGD
+        # touched — the partition's column support at most).
+        mode = self.config.sparse_comm
+        wire = None
+        if mode != "off":
+            wire = tree_fan_in_wire(
+                [[local] for local in locals_],
+                engine.tree.plan(data.num_partitions), m, mode)
+        engine.tree_aggregate_phase(m, step, redo_seconds=durations,
+                                    wire=wire)
 
         # ...which performs the model averaging (one dense pass) ...
         new_w = np.mean(locals_, axis=0)

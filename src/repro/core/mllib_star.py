@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
-from ..collectives import all_gather, reduce_scatter
+from ..collectives import sparse_all_gather, sparse_reduce_scatter
 from ..engine import BspEngine, PartitionedDataset
 from ..glm import Objective
 from .config import TrainerConfig
@@ -96,17 +96,26 @@ class MLlibStarTrainer(DistributedTrainer):
         # crashed owner loses its local model *and* every piece peers
         # shipped it, so recovery redoes the local SGD passes and pulls a
         # refill fan-in from all peers — the whole barrier stalls on it.
+        # The sparse wire format changes what the messages cost, never
+        # what they say: payloads are materialized before combining, so
+        # iterates are bit-identical across all --sparse-comm modes.
+        mode = self.config.sparse_comm
         weights = None
         if self.combine == "weighted":
             weights = [float(p.n_rows) for p in data.partitions]
-        partitions = reduce_scatter(locals_, combine=self.combine,
-                                    weights=weights)
-        engine.reduce_scatter_phase(m, step, redo_seconds=durations)
+        partitions, rs_stats = sparse_reduce_scatter(
+            locals_, combine=self.combine, weights=weights, mode=mode)
+        engine.reduce_scatter_phase(
+            m, step, redo_seconds=durations,
+            wire=rs_stats if mode != "off" else None)
 
         # Phase 3: AllGather — everyone reassembles the global model.
         # Under --sanitize every worker's reassembled replica is
         # digest-checked for bit-identity at this barrier.
-        new_w = all_gather(partitions, m,
-                           check_replicas=self.sanitizer.enabled)
-        engine.all_gather_phase(m, step, redo_seconds=durations)
+        new_w, ag_stats = sparse_all_gather(
+            partitions, m, mode=mode,
+            check_replicas=self.sanitizer.enabled)
+        engine.all_gather_phase(
+            m, step, redo_seconds=durations,
+            wire=ag_stats if mode != "off" else None)
         return new_w

@@ -29,7 +29,7 @@ from ..cluster import ClusterSpec, Trace
 from ..cluster.faults import (FailureRecord, RecoveryPolicy,
                               build_failure_model)
 from ..data import SparseDataset
-from ..engine import PartitionedDataset
+from ..engine import CommRecord, PartitionedDataset
 from ..glm import GLMModel, Objective, get_schedule
 from ..metrics import TrainingHistory
 from .config import TrainerConfig
@@ -49,6 +49,9 @@ class TrainResult:
     #: Injected executor crashes the run recovered from (empty unless
     #: fault injection was configured).
     failures: tuple[FailureRecord, ...] = ()
+    #: Wire accounting, one record per priced communication phase (empty
+    #: for trainers without a comm-recording engine).
+    comm: tuple[CommRecord, ...] = ()
 
     @property
     def final_objective(self) -> float:
@@ -58,6 +61,19 @@ class TrainResult:
     def recovery_seconds(self) -> float:
         """Total failure-recovery downtime across all nodes."""
         return self.trace.recovery_seconds()
+
+    @property
+    def comm_seconds(self) -> float:
+        """Total priced communication seconds across recorded phases."""
+        return sum(r.seconds for r in self.comm)
+
+    @property
+    def comm_compression(self) -> float:
+        """Overall dense-over-wire volume ratio of the run."""
+        wire = sum(r.wire_values for r in self.comm)
+        if wire <= 0:
+            return 1.0
+        return sum(r.dense_values for r in self.comm) / wire
 
 
 class DistributedTrainer:
@@ -133,6 +149,11 @@ class DistributedTrainer:
         """Crash records collected by the engine (empty without one)."""
         engine = getattr(self, "_engine", None)
         return list(getattr(engine, "failures", []))
+
+    def _comm_records(self) -> list[CommRecord]:
+        """Comm accounting collected by the engine (empty without one)."""
+        engine = getattr(self, "_engine", None)
+        return list(getattr(engine, "comm_records", []))
 
     def _checkpoint_phase(self, step: int, model_size: int) -> None:
         """Write a recovery checkpoint (engines price it; no-op without
@@ -228,4 +249,5 @@ class DistributedTrainer:
         model = GLMModel(weights=w, objective=self.objective)
         return TrainResult(model=model, history=history, trace=self._trace(),
                            converged=converged, diverged=diverged,
-                           failures=tuple(self._failures()))
+                           failures=tuple(self._failures()),
+                           comm=tuple(self._comm_records()))

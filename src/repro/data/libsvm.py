@@ -100,7 +100,13 @@ def write_libsvm(dataset: SparseDataset, path: str | Path) -> None:
     with path.open("w", encoding="ascii") as handle:
         for row in range(dataset.n_rows):
             buf = io.StringIO()
-            label = int(dataset.y[row])
+            raw = float(dataset.y[row])
+            if raw not in (-1.0, 1.0):
+                raise ValueError(
+                    f"row {row}: label {raw!r} is not in {{-1, +1}}; "
+                    "refusing to truncate it (the written file would not "
+                    "round-trip)")
+            label = int(raw)
             buf.write(f"{label:+d}")
             start, end = X.indptr[row], X.indptr[row + 1]
             for idx, val in zip(X.indices[start:end], X.data[start:end]):

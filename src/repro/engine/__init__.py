@@ -3,12 +3,12 @@
 from .aggregation import TreeAggregateModel, TreeAggregateTiming
 from .broadcast import BroadcastModel
 from .dag import MiniRdd, RddContext
-from .driver import DRIVER_LABEL, BspEngine, executor_label
+from .driver import DRIVER_LABEL, BspEngine, CommRecord, executor_label
 from .rdd import PartitionedDataset
 from .shuffle import ShuffleModel, exchange
 
 __all__ = [
-    "BspEngine", "DRIVER_LABEL", "executor_label",
+    "BspEngine", "CommRecord", "DRIVER_LABEL", "executor_label",
     "PartitionedDataset",
     "TreeAggregateModel", "TreeAggregateTiming",
     "BroadcastModel",

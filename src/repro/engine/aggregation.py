@@ -15,8 +15,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..cluster import ClusterSpec
+
+if TYPE_CHECKING:  # avoid a runtime engine -> collectives import cycle
+    from ..collectives.sparse import TreeWire
 
 __all__ = ["TreeAggregateModel", "TreeAggregateTiming"]
 
@@ -32,6 +36,10 @@ class TreeAggregateTiming:
     aggregator_seconds: float
     driver_seconds: float
     groups: dict[int, int]
+    #: Serialized network ingress on the critical path: the busiest
+    #: aggregator's fan-in plus the driver's fan-in (no compute).  This is
+    #: the communication component the sparse wire format shrinks.
+    ingress_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -80,12 +88,20 @@ class TreeAggregateModel:
         return sizes
 
     def timing(self, cluster: ClusterSpec, model_size: int,
-               messages_per_executor: int = 1) -> TreeAggregateTiming:
+               messages_per_executor: int = 1,
+               wire: "TreeWire | None" = None) -> TreeAggregateTiming:
         """Price one aggregation of size-``m`` vectors to the driver.
 
         ``messages_per_executor`` > 1 models multiple waves of tasks per
         executor (Section V-C): every task ships its own full-size vector
         into the aggregation, multiplying level-1 traffic.
+
+        ``wire`` (a :class:`~repro.collectives.sparse.TreeWire`) replaces
+        the dense ``model_size`` message pricing with per-message sparse
+        wire sizes: leaf messages carry each task's gradient support,
+        aggregator partials carry their group's union support.  The dense
+        vector additions are unchanged — sparsity changes what moves on
+        the wire, never the arithmetic being priced.
         """
         if messages_per_executor < 1:
             raise ValueError("messages_per_executor must be at least 1")
@@ -94,28 +110,62 @@ class TreeAggregateModel:
         compute = cluster.compute
         groups = self.plan(k)
         mpe = messages_per_executor
+        if wire is not None:
+            if len(wire.leaf_values) != k:
+                raise ValueError(
+                    f"wire carries {len(wire.leaf_values)} executors, "
+                    f"cluster has {k}")
+            if any(len(row) != mpe for row in wire.leaf_values):
+                raise ValueError(
+                    "wire must carry messages_per_executor sizes per "
+                    "executor")
 
         if not groups:
-            driver = (net.fan_in_seconds(k * mpe, model_size)
+            if wire is None:
+                ingress = net.fan_in_seconds(k * mpe, model_size)
+            else:
+                ingress = net.fan_in_varied_seconds(
+                    [v for row in wire.leaf_values for v in row])
+            driver = (ingress
                       + compute.dense_op_seconds(k * mpe * model_size,
                                                  cluster.driver))
             return TreeAggregateTiming(aggregator_seconds=0.0,
-                                       driver_seconds=driver, groups={})
+                                       driver_seconds=driver, groups={},
+                                       ingress_seconds=ingress)
 
         # Level 1: aggregators receive their group's vectors (minus their
         # own, which are local) serially and add them up; all aggregators
         # run concurrently.
+        a = len(groups)
+        if wire is not None and len(wire.partial_values) != a:
+            raise ValueError(
+                f"wire carries {len(wire.partial_values)} partials, plan "
+                f"has {a} aggregators")
         level1 = 0.0
+        level1_ingress = 0.0
         for agg_index, size in groups.items():
             node = cluster.executors[agg_index]
-            seconds = (net.fan_in_seconds((size - 1) * mpe, model_size)
+            if wire is None:
+                ingress = net.fan_in_seconds((size - 1) * mpe, model_size)
+            else:
+                ingress = net.fan_in_varied_seconds(
+                    [v for e in range(k)
+                     if e % a == agg_index and e != agg_index
+                     for v in wire.leaf_values[e]])
+            seconds = (ingress
                        + compute.dense_op_seconds(size * mpe * model_size,
                                                   node))
             level1 = max(level1, seconds)
+            level1_ingress = max(level1_ingress, ingress)
 
         # Level 2: the driver receives one partial per aggregator.
-        driver = (net.fan_in_seconds(len(groups), model_size)
-                  + compute.dense_op_seconds(len(groups) * model_size,
+        if wire is None:
+            ingress = net.fan_in_seconds(a, model_size)
+        else:
+            ingress = net.fan_in_varied_seconds(wire.partial_values)
+        driver = (ingress
+                  + compute.dense_op_seconds(a * model_size,
                                              cluster.driver))
         return TreeAggregateTiming(aggregator_seconds=level1,
-                                   driver_seconds=driver, groups=groups)
+                                   driver_seconds=driver, groups=groups,
+                                   ingress_seconds=level1_ingress + ingress)

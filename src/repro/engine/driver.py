@@ -44,6 +44,9 @@ timing is bit-identical to the failure-free engine.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
 from ..cluster import ClusterSpec, Trace
 from ..cluster.faults import (FailureModel, FailureRecord, NoFailures,
                               RecoveryError, RecoveryPolicy)
@@ -51,7 +54,10 @@ from .aggregation import TreeAggregateModel
 from .broadcast import BroadcastModel
 from .shuffle import ShuffleModel
 
-__all__ = ["BspEngine", "DRIVER_LABEL", "executor_label"]
+if TYPE_CHECKING:  # avoid a runtime engine -> collectives import cycle
+    from ..collectives.sparse import CommStats, TreeWire
+
+__all__ = ["BspEngine", "CommRecord", "DRIVER_LABEL", "executor_label"]
 
 DRIVER_LABEL = "driver"
 
@@ -62,6 +68,39 @@ _Segments = list
 def executor_label(index: int) -> str:
     """Human-readable label for executor ``index`` (0-based)."""
     return f"executor-{index + 1}"
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """Wire accounting of one priced communication phase.
+
+    ``dense_values``/``dense_seconds`` are what the phase would have moved
+    and cost with dense messages; ``wire_values``/``seconds`` are what it
+    actually moved and cost (identical when no sparse wire was supplied).
+    ``seconds`` is the communication component only — the busiest link's
+    priced transfer time, excluding combine compute and fault retries.
+    """
+
+    step: int
+    phase: str
+    dense_values: float
+    wire_values: float
+    seconds: float
+    dense_seconds: float
+
+    @property
+    def compression(self) -> float:
+        """Dense-over-wire volume ratio (1.0 for an empty exchange)."""
+        if self.wire_values <= 0:
+            return 1.0
+        return self.dense_values / self.wire_values
+
+    @property
+    def speedup(self) -> float:
+        """Dense-over-wire priced-seconds ratio (1.0 for a free phase)."""
+        if self.seconds <= 0:
+            return 1.0
+        return self.dense_seconds / self.seconds
 
 
 class BspEngine:
@@ -97,6 +136,8 @@ class BspEngine:
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         #: Materialized crashes, in simulated-time order.
         self.failures: list[FailureRecord] = []
+        #: Wire accounting, one record per priced communication phase.
+        self.comm_records: list[CommRecord] = []
         self.trace = Trace()
         self.now = 0.0
         #: Per-executor cost of rebuilding a lost cached partition from
@@ -236,7 +277,8 @@ class BspEngine:
 
     def tree_aggregate_phase(self, model_size: int, step: int,
                              messages_per_executor: int = 1,
-                             redo_seconds: list[float] | None = None) -> float:
+                             redo_seconds: list[float] | None = None,
+                             wire: "TreeWire | None" = None) -> float:
         """Hierarchical aggregation of size-``m`` vectors to the driver.
 
         ``messages_per_executor`` > 1 models multiple waves of tasks per
@@ -245,12 +287,27 @@ class BspEngine:
         its vector after a crash (the in-memory gradient/model dies with
         the executor); the driver fan-in starts late by the recovery
         delay of the slowest failed sender.
+
+        ``wire`` (a :class:`~repro.collectives.sparse.TreeWire`) prices
+        each leaf/partial message at its sparse encoded size instead of
+        ``model_size``.  Fault-recovery resends stay dense-priced (the
+        recovered state is re-shipped conservatively).  With ``wire=None``
+        timing is bit-identical to the dense engine.
         """
         timing = self.tree.timing(self.cluster, model_size,
-                                  messages_per_executor)
+                                  messages_per_executor, wire=wire)
         net_slow = self._net_slowdown(step)
         start = self.now
-        send = self.cluster.network.transfer_seconds(model_size) * net_slow
+        net = self.cluster.network
+        if wire is None:
+            send_list = [net.transfer_seconds(model_size) * net_slow
+                         ] * self.num_executors
+            send_values = [float(model_size)] * self.num_executors
+        else:
+            send_list = [net.fan_in_varied_seconds(wire.leaf_values[i])
+                         * net_slow for i in range(self.num_executors)]
+            send_values = [float(sum(wire.leaf_values[i]))
+                           for i in range(self.num_executors)]
 
         level1_end = start + timing.aggregator_seconds * net_slow
         aggregators = set(timing.groups)
@@ -262,7 +319,7 @@ class BspEngine:
             if is_aggregator:
                 segments = [(level1_end - start, "aggregate")]
             else:
-                segments = [(send, "send")]
+                segments = [(send_list[i], "send")]
             if self.faults.enabled:
                 redo = ([] if redo_seconds is None
                         else [(redo_seconds[i], "compute")])
@@ -271,7 +328,9 @@ class BspEngine:
                 delay = max(delay, end - (start + segments[0][0]))
             else:
                 end = start + segments[0][0]
-                self.trace.add(label, start, end, segments[0][1], step)
+                self.trace.add(label, start, end, segments[0][1], step,
+                               values=(0.0 if is_aggregator
+                                       else send_values[i]))
             finish_times.append(end)
             if not is_aggregator:
                 self._wait_fill(label, end, level1_end, step)
@@ -284,6 +343,25 @@ class BspEngine:
             busy_until = (max(level1_end, finish_times[i])
                           if self.faults.enabled else level1_end)
             self._wait_fill(executor_label(i), busy_until, driver_end, step)
+
+        if wire is None:
+            a = len(timing.groups)
+            msgs = (self.num_executors * messages_per_executor if a == 0
+                    else (self.num_executors - a) * messages_per_executor + a)
+            dense_values = float(model_size) * msgs
+            wire_values = dense_values
+            dense_ingress = timing.ingress_seconds
+        else:
+            dense_values = wire.dense_values
+            wire_values = wire.wire_values
+            dense_ingress = self.tree.timing(
+                self.cluster, model_size, messages_per_executor
+            ).ingress_seconds
+        self.comm_records.append(CommRecord(
+            step=step, phase="tree_aggregate", dense_values=dense_values,
+            wire_values=wire_values,
+            seconds=timing.ingress_seconds * net_slow,
+            dense_seconds=dense_ingress * net_slow))
         self.now = driver_end
         return driver_end - start
 
@@ -326,7 +404,8 @@ class BspEngine:
     # ------------------------------------------------------------------
     def _all_to_all_phase(self, model_size: int, step: int, phase: str,
                           combine_coords: float,
-                          redo_seconds: list[float] | None = None) -> float:
+                          redo_seconds: list[float] | None = None,
+                          wire: "CommStats | None" = None) -> float:
         """One shuffle round: every executor exchanges model pieces.
 
         Each executor sends ``k - 1`` messages of ``m / k`` coordinates on
@@ -334,12 +413,18 @@ class BspEngine:
         combines received pieces (``combine_coords`` dense coordinate ops,
         straggler-free since it is tiny).
 
+        ``wire`` (a :class:`~repro.collectives.sparse.CommStats`) prices
+        each executor's sends at their actual encoded sizes
+        (``wire.per_sender[i]``) instead of ``k - 1`` dense pieces; with
+        ``wire=None`` the phase is bit-identical to the dense engine.
+
         A crash here is the costly AllReduce failure mode: the owner's
         received pieces die with it, so recovery redoes the owner's local
         work (``redo_seconds``), then **all peers re-send their pieces**
         — a ``k - 1`` serialized fan-in into the recovered node — before
-        the combine is redone.  The closing barrier stalls every peer
-        until the owner catches up.
+        the combine is redone (the refill stays dense-priced: recovered
+        state is re-shipped conservatively).  The closing barrier stalls
+        every peer until the owner catches up.
         """
         k = self.num_executors
         if model_size < k:
@@ -349,13 +434,26 @@ class BspEngine:
                 "coordinate (num_executors > model_size)")
         piece = model_size / k
         net_slow = self._net_slowdown(step)
-        send_seconds = (self.shuffle.round_seconds(self.cluster, k - 1, piece)
-                        * net_slow)
+        dense_send = (self.shuffle.round_seconds(self.cluster, k - 1, piece)
+                      * net_slow)
+        if wire is None:
+            send_list = [dense_send] * k
+            send_values = [(k - 1) * piece] * k
+        else:
+            if len(wire.per_sender) != k:
+                raise ValueError(
+                    f"wire carries {len(wire.per_sender)} senders, "
+                    f"cluster has {k}")
+            send_list = [self.shuffle.sender_seconds(self.cluster,
+                                                     wire.per_sender[i])
+                         * net_slow for i in range(k)]
+            send_values = [float(sum(wire.per_sender[i])) for i in range(k)]
         start = self.now
         finish: list[float] = []
         for i in range(k):
             label = executor_label(i)
             node = self.cluster.executors[i]
+            send_seconds = send_list[i]
             combine = (self.cluster.compute.dense_op_seconds(
                 combine_coords, node) if combine_coords > 0 else 0.0)
             if self.faults.enabled:
@@ -374,7 +472,8 @@ class BspEngine:
             else:
                 end = start + send_seconds
                 if send_seconds > 0:
-                    self.trace.add(label, start, end, "send", step)
+                    self.trace.add(label, start, end, "send", step,
+                                   values=send_values[i])
                 if combine > 0:
                     self.trace.add(label, end, end + combine, "aggregate",
                                    step)
@@ -384,22 +483,33 @@ class BspEngine:
         for i, end in enumerate(finish):
             self._wait_fill(executor_label(i), end, barrier, step)
         self._wait_fill(DRIVER_LABEL, start, barrier, step)
+        dense_values = float((k - 1) * model_size)
+        self.comm_records.append(CommRecord(
+            step=step, phase=phase,
+            dense_values=wire.dense_values if wire is not None
+            else dense_values,
+            wire_values=wire.wire_values if wire is not None
+            else dense_values,
+            seconds=max(send_list, default=0.0),
+            dense_seconds=dense_send))
         self.now = barrier
         return barrier - start
 
     def reduce_scatter_phase(self, model_size: int, step: int,
-                             redo_seconds: list[float] | None = None) -> float:
+                             redo_seconds: list[float] | None = None,
+                             wire: "CommStats | None" = None) -> float:
         """MLlib* phase 1: route partitions to owners and average them."""
         k = self.num_executors
         combine = model_size / k * k  # owner sums k pieces of its partition
         return self._all_to_all_phase(model_size, step, "reduce_scatter",
-                                      combine, redo_seconds)
+                                      combine, redo_seconds, wire=wire)
 
     def all_gather_phase(self, model_size: int, step: int,
-                         redo_seconds: list[float] | None = None) -> float:
+                         redo_seconds: list[float] | None = None,
+                         wire: "CommStats | None" = None) -> float:
         """MLlib* phase 2: owners broadcast their averaged partition."""
         return self._all_to_all_phase(model_size, step, "all_gather", 0.0,
-                                      redo_seconds)
+                                      redo_seconds, wire=wire)
 
     # ------------------------------------------------------------------
     def checkpoint_phase(self, model_size: int, step: int) -> float:

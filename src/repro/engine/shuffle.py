@@ -45,6 +45,18 @@ class ShuffleModel:
         net = cluster.network
         return messages_per_node * net.transfer_seconds(values_per_message)
 
+    def sender_seconds(self, cluster: ClusterSpec,
+                       message_values: tuple[float, ...] | list[float]) -> float:
+        """Cost of one node's sends when its messages differ in size.
+
+        The nnz-aware variant of :meth:`round_seconds`: sparse payloads
+        make every message's wire size depend on its support, so a
+        sender's uplink cost is the sum of its individually priced
+        transfers.  With equal sizes this equals
+        ``round_seconds(cluster, len(message_values), size)`` exactly.
+        """
+        return cluster.network.fan_in_varied_seconds(message_values)
+
 
 def exchange(outboxes: list[dict[int, T]],
              num_workers: int | None = None) -> list[list[T]]:

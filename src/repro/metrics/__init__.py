@@ -9,15 +9,17 @@ from .gantt import KIND_CHARS, GanttSummary, render_ascii, summarize
 from .histogram import LatencyHistogram
 from .history import HistoryPoint, TrainingHistory
 from .plots import CURVE_GLYPHS, render_curves
-from .reporting import (RecoveryReport, ServingReport, format_speedup,
-                        format_table, recovery_report, serving_report)
+from .reporting import (CommReport, RecoveryReport, ServingReport,
+                        comm_report, format_speedup, format_table,
+                        recovery_report, serving_report)
 
 __all__ = [
     "TrainingHistory", "HistoryPoint",
     "ACCURACY_LOSS", "convergence_threshold", "ConvergenceResult",
     "evaluate_convergence", "speedup",
     "GanttSummary", "summarize", "render_ascii", "KIND_CHARS",
-    "format_table", "format_speedup", "RecoveryReport", "recovery_report",
+    "format_table", "format_speedup", "CommReport", "comm_report",
+    "RecoveryReport", "recovery_report",
     "LatencyHistogram", "ServingReport", "serving_report",
     "history_to_rows", "write_history_csv", "write_histories_json",
     "write_trace_csv",

@@ -16,6 +16,7 @@ DET001), but nothing here assumes a time unit.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 
 __all__ = ["LatencyHistogram"]
 
@@ -47,6 +48,16 @@ class LatencyHistogram:
         self._counts = [0] * (self._n_buckets + 1)
         self._samples: list[float] = []
         self._total = 0.0
+        # Upper edges of the regular buckets 1.._n_buckets-1, computed once
+        # by the same formula the display labels use.  Bucketing compares
+        # against these directly (bisect) instead of inverting them with
+        # log10 — the roundoff of log10(edge/lo) * per_decade can land an
+        # exact-edge sample one bucket too high, off by one vs its label.
+        self._edges = [self._bucket_edge(i)
+                       for i in range(1, self._n_buckets)]
+        # Sorted-sample cache for the percentile methods; invalidated on
+        # record so summary() doesn't re-sort once per percentile.
+        self._sorted: list[float] | None = None
 
     # ------------------------------------------------------------------
     def record(self, value: float) -> None:
@@ -55,14 +66,15 @@ class LatencyHistogram:
             raise ValueError("latency cannot be negative")
         self._samples.append(value)
         self._total += value
+        self._sorted = None
         self._counts[self._bucket_index(value)] += 1
 
     def _bucket_index(self, value: float) -> int:
         if value < self._lo:
             return 0
-        idx = 1 + int(math.floor(
-            math.log10(value / self._lo) * self._per_decade))
-        return min(idx, self._n_buckets)
+        # First bucket whose upper edge covers the value; a sample lying
+        # exactly on an edge belongs to that edge's bucket ("<= edge").
+        return 1 + bisect_left(self._edges, value)
 
     def _bucket_edge(self, idx: int) -> float:
         """Upper edge of bucket ``idx`` (0 = underflow)."""
@@ -94,7 +106,9 @@ class LatencyHistogram:
             raise ValueError("q must be in [0, 100]")
         if not self._samples:
             raise ValueError("no samples recorded")
-        ordered = sorted(self._samples)
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
         rank = max(1, math.ceil(q / 100.0 * len(ordered)))
         return ordered[rank - 1]
 

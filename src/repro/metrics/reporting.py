@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["format_table", "format_speedup", "RecoveryReport",
-           "recovery_report", "ServingReport", "serving_report"]
+__all__ = ["format_table", "format_speedup", "CommReport", "comm_report",
+           "RecoveryReport", "recovery_report", "ServingReport",
+           "serving_report"]
 
 
 def format_table(headers: list[str], rows: list[list[object]],
@@ -46,6 +47,86 @@ def format_speedup(value: float | None) -> str:
     if value is None:
         return "n/c"
     return f"{value:.3g}x"
+
+
+@dataclass(frozen=True)
+class CommReport:
+    """Wire-volume and priced-seconds accounting for one training run.
+
+    Aggregated over the run's :class:`~repro.engine.CommRecord` entries;
+    ``by_phase`` maps each phase name to its (dense values, wire values)
+    totals, in first-appearance order.
+    """
+
+    system: str
+    phases: int
+    steps: int
+    dense_values: float
+    wire_values: float
+    comm_seconds: float
+    dense_comm_seconds: float
+    by_phase: tuple[tuple[str, float, float], ...]
+
+    @property
+    def compression(self) -> float:
+        """Dense-over-wire volume ratio across the whole run."""
+        if self.wire_values <= 0:
+            return 1.0
+        return self.dense_values / self.wire_values
+
+    @property
+    def speedup(self) -> float:
+        """Dense-over-wire priced communication-seconds ratio."""
+        if self.comm_seconds <= 0:
+            return 1.0
+        return self.dense_comm_seconds / self.comm_seconds
+
+    HEADERS = ["system", "phases", "dense values", "wire values",
+               "compression", "comm s", "dense comm s", "speedup"]
+
+    def row(self) -> list[object]:
+        return [self.system, self.phases, self.dense_values,
+                self.wire_values, format_speedup(self.compression),
+                round(self.comm_seconds, 4),
+                round(self.dense_comm_seconds, 4),
+                format_speedup(self.speedup)]
+
+    def describe(self) -> str:
+        lines = [
+            f"wire volume {self.wire_values:.0f} values vs "
+            f"{self.dense_values:.0f} dense "
+            f"({self.compression:.3g}x compression) over "
+            f"{self.phases} comm phases",
+            f"priced communication {self.comm_seconds:.4f}s vs "
+            f"{self.dense_comm_seconds:.4f}s dense "
+            f"({self.speedup:.3g}x)",
+        ]
+        for phase, dense, wire in self.by_phase:
+            ratio = dense / wire if wire > 0 else 1.0
+            lines.append(f"  {phase}: {wire:.0f} of {dense:.0f} dense "
+                         f"values ({ratio:.3g}x)")
+        return "\n".join(lines)
+
+
+def comm_report(result) -> CommReport:
+    """Summarize a ``TrainResult``'s communication wire accounting."""
+    records = result.comm
+    by_phase: dict[str, list[float]] = {}
+    for r in records:
+        totals = by_phase.setdefault(r.phase, [0.0, 0.0])
+        totals[0] += r.dense_values
+        totals[1] += r.wire_values
+    steps = len({r.step for r in records})
+    return CommReport(
+        system=result.history.system,
+        phases=len(records),
+        steps=steps,
+        dense_values=sum(r.dense_values for r in records),
+        wire_values=sum(r.wire_values for r in records),
+        comm_seconds=sum(r.seconds for r in records),
+        dense_comm_seconds=sum(r.dense_seconds for r in records),
+        by_phase=tuple((phase, totals[0], totals[1])
+                       for phase, totals in by_phase.items()))
 
 
 @dataclass(frozen=True)

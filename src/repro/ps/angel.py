@@ -27,7 +27,7 @@ from ..glm import Objective, mgd_epoch
 from ..core.config import TrainerConfig
 from ..core.trainer import DistributedTrainer
 from .consistency import BSP, Controller
-from .engine import PsEngine
+from .engine import PsEngine, push_wire_values
 
 __all__ = ["AngelTrainer"]
 
@@ -91,5 +91,9 @@ class AngelTrainer(DistributedTrainer):
                                * m)
             overheads.append(self.cluster.compute.dense_op_seconds(
                 overhead_coords, self.cluster.executors[i]))
-        engine.run_step(durations, m, overhead_seconds=overheads)
+        # Under --sparse-comm a worker's push (its delta against the
+        # pulled model) is priced at the support local training touched.
+        engine.run_step(durations, m, overhead_seconds=overheads,
+                        push_values=push_wire_values(
+                            w, locals_, self.config.sparse_comm))
         return np.mean(locals_, axis=0)

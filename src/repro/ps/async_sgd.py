@@ -27,6 +27,7 @@ import heapq
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
+from ..collectives import wire_values
 from ..core.config import TrainerConfig
 from ..core.trainer import DistributedTrainer
 from ..engine import PartitionedDataset
@@ -73,10 +74,17 @@ class AsyncSgdTrainer(DistributedTrainer):
     # ------------------------------------------------------------------
     def _comm_seconds(self, model_size: int) -> float:
         """One pull + one push against the shards (no peer contention
-        modelled: asynchrony spreads requests over time)."""
+        modelled: asynchrony spreads requests over time).
+
+        Always dense: under ASP the *order* in which pushes land is part
+        of the numerics, so repricing events by sparse wire size would
+        reorder updates and change convergence.  Sparse mode is therefore
+        wire accounting only here (span ``values``) — the event clock
+        never moves (see :meth:`_begin_cycle`).
+        """
         net = self.cluster.network
-        payload = model_size * net.bytes_per_value / net.bandwidth
-        return 2.0 * (self._num_servers * net.alpha + payload)
+        return 2.0 * (self._num_servers * net.alpha
+                      + model_size * net.bytes_per_value / net.bandwidth)
 
     def _schedule(self, worker: int, ready: float) -> None:
         heapq.heappush(self._events, (ready, self._tiebreak, worker))
@@ -102,13 +110,26 @@ class AsyncSgdTrainer(DistributedTrainer):
         node = self.cluster.executors[worker]
         compute = (self._compute_seconds(2 * int(Xb.nnz), 0, worker)
                    * self.cluster.slowdown(node, self._step_counter))
-        comm = self._comm_seconds(data.n_features)
+        m = data.n_features
+        mode = self.config.sparse_comm
+        gradient = self._pending[worker]
+        assert gradient is not None
+        # Wire accounting only: the push's sparse size lands in the span's
+        # ``values`` field, but the event schedule runs on the dense clock
+        # so ASP's update interleaving (and hence the numerics) is
+        # independent of the wire format.
+        if mode == "off":
+            push_wire = float(m)
+        else:
+            push_wire = wire_values(int(np.count_nonzero(gradient)), m, mode)
+        comm = self._comm_seconds(m)
         label = worker_label(worker)
         if compute > 0:
             self._trace_store.add(label, start, start + compute, "compute",
                             self._step_counter)
         self._trace_store.add(label, start + compute, start + compute + comm,
-                        "send", self._step_counter)
+                        "send", self._step_counter,
+                        values=float(m) + push_wire)
         self._schedule(worker, start + compute + comm)
 
     # ------------------------------------------------------------------

@@ -24,17 +24,37 @@ driver bottleneck — parameter servers generalize between the two.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..cluster import ClusterSpec, Trace
 from ..cluster.faults import (FailureModel, FailureRecord, NoFailures,
                               RecoveryError, RecoveryPolicy)
+from ..collectives.sparse import wire_values
+from ..engine.driver import CommRecord
 from .consistency import BSP, Controller
 
-__all__ = ["PsEngine", "worker_label"]
+__all__ = ["PsEngine", "push_wire_values", "worker_label"]
 
 
 def worker_label(index: int) -> str:
     """Human-readable label for PS worker ``index`` (0-based)."""
     return f"worker-{index + 1}"
+
+
+def push_wire_values(w: np.ndarray, locals_: list[np.ndarray],
+                     mode: str) -> list[float] | None:
+    """Sparse push sizes for SendModel workers (``None`` when dense).
+
+    A SendModel worker pushes its delta against the pulled model; the
+    delta's support is the set of coordinates local SGD touched.  Returns
+    per-worker wire sizes under ``mode``, or ``None`` for ``'off'`` so
+    the engine keeps the bit-identical dense formula.
+    """
+    if mode == "off":
+        return None
+    m = int(w.shape[0])
+    return [wire_values(int(np.count_nonzero(local - w)), m, mode)
+            for local in locals_]
 
 
 class PsEngine:
@@ -68,6 +88,8 @@ class PsEngine:
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         #: Materialized crashes, in simulated-time order.
         self.failures: list[FailureRecord] = []
+        #: Wire accounting, one record per step (pull + push volumes).
+        self.comm_records: list[CommRecord] = []
         self.trace = Trace()
         #: finish_times[r][t] — when worker r finished logical step t.
         self._finish_times: list[list[float]] = [
@@ -140,22 +162,38 @@ class PsEngine:
             attempt += 1
 
     # ------------------------------------------------------------------
-    def comm_seconds(self, model_size: int) -> float:
-        """Pull + push cost for one worker and one step (see module doc)."""
+    def comm_seconds(self, model_size: int,
+                     push_values: float | None = None) -> float:
+        """Pull + push cost for one worker and one step (see module doc).
+
+        ``push_values`` prices the push half at a sparse encoded size
+        instead of the full model (the pull is always dense — a worker
+        needs the whole model).  With ``push_values=None`` this is
+        bit-identical to the symmetric dense formula.
+        """
         net = self.cluster.network
         shard_contention = max(1.0, self.num_workers / self.num_servers)
-        payload = (model_size * net.bytes_per_value / net.bandwidth
-                   * shard_contention)
-        return 2.0 * (self.num_servers * net.alpha + payload)
+        pull = (self.num_servers * net.alpha
+                + model_size * net.bytes_per_value / net.bandwidth
+                * shard_contention)
+        if push_values is None:
+            return 2.0 * pull
+        push = (self.num_servers * net.alpha
+                + push_values * net.bytes_per_value / net.bandwidth
+                * shard_contention)
+        return pull + push
 
     def run_step(self, compute_seconds: list[float], model_size: int,
-                 overhead_seconds: list[float] | None = None) -> float:
+                 overhead_seconds: list[float] | None = None,
+                 push_values: list[float] | None = None) -> float:
         """Advance every worker through one pull/compute/push step.
 
         ``compute_seconds[r]`` is worker ``r``'s unperturbed local compute
         time; ``overhead_seconds`` adds straggler-free per-worker overhead
-        (Angel's per-batch allocation cost).  Returns the simulated time at
-        which the step's global model is available.
+        (Angel's per-batch allocation cost).  ``push_values[r]`` prices
+        worker ``r``'s push at its sparse encoded size (see
+        :meth:`comm_seconds`).  Returns the simulated time at which the
+        step's global model is available.
         """
         if len(compute_seconds) != self.num_workers:
             raise ValueError(
@@ -165,11 +203,29 @@ class PsEngine:
                      else [0.0] * self.num_workers)
         if len(overheads) != self.num_workers:
             raise ValueError("overhead list length mismatch")
+        if (push_values is not None
+                and len(push_values) != self.num_workers):
+            raise ValueError("push_values list length mismatch")
 
         t = self._steps_run
-        comm = self.comm_seconds(model_size)
+        slow = 1.0
         if self.faults.enabled:
-            comm *= self.faults.network_slowdown(t + 1)
+            slow = self.faults.network_slowdown(t + 1)
+        dense_comm = self.comm_seconds(model_size) * slow
+        if push_values is None:
+            comm_list = [dense_comm] * self.num_workers
+        else:
+            comm_list = [self.comm_seconds(model_size, push_values[r]) * slow
+                         for r in range(self.num_workers)]
+        self.comm_records.append(CommRecord(
+            step=t, phase="ps_pull_push",
+            dense_values=2.0 * model_size * self.num_workers,
+            wire_values=float(sum(
+                model_size + (model_size if push_values is None
+                              else push_values[r])
+                for r in range(self.num_workers))),
+            seconds=max(comm_list, default=0.0),
+            dense_seconds=dense_comm))
         finishes: list[float] = []
         for r in range(self.num_workers):
             own_ready = self._finish_times[r][-1] if self._finish_times[r] else 0.0
@@ -191,9 +247,14 @@ class PsEngine:
                 if work > 0:
                     self.trace.add(label, start, start + work, "compute", t)
                 push_start = start + work
+            comm = comm_list[r]
             if comm > 0:
                 self.trace.add(label, push_start, push_start + comm,
-                               "send", t)
+                               "send", t,
+                               values=float(
+                                   model_size
+                                   + (model_size if push_values is None
+                                      else push_values[r])))
             finish = push_start + comm
             self._finish_times[r].append(finish)
             finishes.append(finish)

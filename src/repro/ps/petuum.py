@@ -26,7 +26,7 @@ from ..glm import LocalStats, Objective, gd_step, sample_batch, sgd_epoch
 from ..core.config import TrainerConfig
 from ..core.trainer import DistributedTrainer
 from .consistency import SSP, Controller
-from .engine import PsEngine
+from .engine import PsEngine, push_wire_values
 from .server import ParameterServer
 
 __all__ = ["PetuumTrainer", "PetuumStarTrainer"]
@@ -114,7 +114,11 @@ class PetuumTrainer(DistributedTrainer):
             locals_.append(local_w)
             durations.append(self._compute_seconds(
                 stats.nnz_processed, stats.dense_ops, i))
-        engine.run_step(durations, data.n_features)
+        # Under --sparse-comm a worker's push (the delta ``local - w``)
+        # is priced at its support — the coordinates local SGD touched.
+        engine.run_step(durations, data.n_features,
+                        push_values=push_wire_values(
+                            w, locals_, self.config.sparse_comm))
         return self._combine(w, locals_)
 
 
