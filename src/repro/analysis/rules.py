@@ -8,14 +8,22 @@ static checks:
 * :class:`AmbientNondeterminism` (``DET001``) — no unseeded randomness or
   wall-clock reads anywhere in ``src/repro``; all randomness must arrive
   as a ``numpy.random.Generator`` parameter derived from a
-  ``SeedSequence`` (see ``DistributedTrainer._worker_rngs``).
+  ``SeedSequence`` (see ``DistributedTrainer._worker_rngs``).  One scoped
+  carve-out: the profiling package ``repro/perf/`` *measures* wall-clock
+  time by design, so the wall-clock/date diagnostics are suppressed
+  there — structurally, by rule scoping, not by ``noqa`` comments — while
+  the RNG diagnostics still apply in full.
 * :class:`UnorderedIteration` (``DET002``) — no iteration over ``set`` /
   ``frozenset`` values on the aggregation paths (``engine/aggregation``,
-  ``collectives/``, ``ps/``): float addition is not associative, so a
-  hash-order dependent accumulation silently changes the numerics.
+  ``collectives/``, ``ps/``, the execution backend ``engine/backend.py``
+  and its worker tasks ``core/worker.py``): float addition is not
+  associative, so a hash-order dependent accumulation silently changes
+  the numerics.
 * :class:`ImpureCostModel` (``PURE001``) — cost-model pricing methods
   (``seconds``, ``*_seconds``, ``timing``) must not mutate state; pricing
-  a phase twice must cost the same both times.
+  a phase twice must cost the same both times.  Scoped out of
+  ``repro/perf/``: its timing accessors report *measured* wall-clock
+  aggregates, not simulated prices, and accumulate by design.
 * :class:`ConfigReachability` (``CFG001``) — every ``TrainerConfig``
   field must be reachable from the CLI (or explicitly allowlisted), so
   new knobs cannot silently become dead code.
@@ -143,12 +151,20 @@ def _attribute_root(node: ast.AST) -> str | None:
 # DET001 — ambient nondeterminism
 # ----------------------------------------------------------------------
 class AmbientNondeterminism(Rule):
-    """No unseeded RNGs or wall-clock reads in ``src/repro``."""
+    """No unseeded RNGs or wall-clock reads in ``src/repro``.
+
+    The wall-clock and ambient-date diagnostics are suppressed inside
+    ``repro/perf/`` — the profiling package's whole purpose is measuring
+    wall-clock time, and confining ``time.perf_counter`` there is exactly
+    the invariant this scoping enforces.  The RNG diagnostics still apply
+    to ``perf`` files: profiling must never introduce ambient randomness.
+    """
 
     id = "DET001"
     summary = ("ambient nondeterminism: randomness must arrive as a "
                "seeded numpy Generator parameter; wall-clock reads are "
-               "forbidden (the simulated clock is the only clock)")
+               "forbidden (the simulated clock is the only clock; "
+               "measured wall time lives only in repro/perf/)")
 
     #: Legacy global-state samplers on ``numpy.random`` (the module-level
     #: RandomState, shared and order-dependent).
@@ -167,13 +183,22 @@ class AmbientNondeterminism(Rule):
         "datetime.datetime.today", "datetime.date.today",
     })
 
+    @staticmethod
+    def _wall_clock_exempt(path: Path) -> bool:
+        """True for the profiling package (measures wall time by design)."""
+        return "perf" in path.parts
+
     def check(self, src: "SourceFile") -> Iterator[Violation]:
         aliases = _import_aliases(src.tree)
+        wall_ok = self._wall_clock_exempt(src.path)
         for node in ast.walk(src.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = _resolve(_dotted_name(node.func), aliases)
             if name is None:
+                continue
+            if wall_ok and (name in self.WALL_CLOCKS
+                            or name in self.AMBIENT_DATES):
                 continue
             message = self._diagnose(name, node)
             if message is not None:
@@ -214,8 +239,10 @@ class UnorderedIteration(Rule):
     Scope: the collectives package (including the sparse wire format in
     ``collectives/sparse.py``, where iterating a *set* of coordinate
     indices would scramble payload order), the parameter-server package,
-    and the engine's aggregation/driver cost path (which now also carries
-    per-message wire accounting).
+    the engine's aggregation/driver cost path (which now also carries
+    per-message wire accounting), and the execution-backend fan-out path
+    (``engine/backend.py`` + ``core/worker.py``, where result order is
+    what keeps parallel backends bit-identical to serial).
     """
 
     id = "DET002"
@@ -226,7 +253,8 @@ class UnorderedIteration(Rule):
     def applies_to(self, path: Path) -> bool:
         parts = path.parts
         return ("collectives" in parts or "ps" in parts
-                or path.name in ("aggregation.py", "driver.py"))
+                or path.name in ("aggregation.py", "driver.py",
+                                 "backend.py", "worker.py"))
 
     def check(self, src: "SourceFile") -> Iterator[Violation]:
         for node in ast.walk(src.tree):
@@ -257,11 +285,19 @@ class UnorderedIteration(Rule):
 # PURE001 — cost-model pricing must be pure
 # ----------------------------------------------------------------------
 class ImpureCostModel(Rule):
-    """``seconds()`` / ``*_seconds()`` / ``timing()`` must not mutate."""
+    """``seconds()`` / ``*_seconds()`` / ``timing()`` must not mutate.
+
+    Scoped out of ``repro/perf/``: the profiler's timing accessors report
+    measured wall-clock aggregates (not simulated prices) and accumulate
+    state by design — they are measurements, not a cost model.
+    """
 
     id = "PURE001"
     summary = ("cost-model pricing methods must be pure: pricing the "
                "same phase twice must return the same seconds")
+
+    def applies_to(self, path: Path) -> bool:
+        return "perf" not in path.parts
 
     MUTATORS = frozenset({
         "append", "extend", "add", "update", "insert", "remove", "discard",

@@ -14,6 +14,9 @@ Commands:
   batched prediction service.
 * ``models``     — list a registry's model versions.
 * ``serve-bench`` — open-loop arrival-rate sweep against a saved model.
+* ``perf``       — wall-clock profiling: per-kernel reference-vs-fast
+  speedups and an end-to-end execution-backend sweep, with bit-identity
+  asserted before any speedup is reported.
 
 Examples::
 
@@ -119,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "SparCML break-even point (nnz < m/2), 'on' "
                             "forces sparse encoding; numerics are "
                             "bit-identical across modes")
+        p.add_argument("--backend", default="serial",
+                       choices=["serial", "threads", "processes"],
+                       help="execution backend for the per-worker local "
+                            "solves: 'serial' runs them in a loop, "
+                            "'threads'/'processes' fan them out across "
+                            "cores; purely a wall-clock choice — results "
+                            "are bit-identical across backends")
         p.add_argument("--failure-rate", type=float, default=0.0,
                        help="per-(step, executor) crash probability "
                             "(0 disables fault injection)")
@@ -256,6 +266,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the sweep to JSON "
                             "(e.g. BENCH_serving.json)")
     bench.add_argument("--seed", type=int, default=0)
+
+    perf = sub.add_parser(
+        "perf", help="wall-clock profiling: reference-vs-fast kernel "
+                     "speedups and an execution-backend sweep")
+    perf.add_argument("--rows", type=int, default=1500,
+                      help="rows in the synthetic kernel workload")
+    perf.add_argument("--features", type=int, default=40000,
+                      help="features (model size) in the kernel workload")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="timing repeats per measurement (best-of-N)")
+    perf.add_argument("--executors", type=int, default=4,
+                      help="executors for the backend sweep workload")
+    perf.add_argument("--steps", type=int, default=4,
+                      help="training steps in the backend sweep workload")
+    perf.add_argument("--seed", type=int, default=3)
+    perf.add_argument("--skip-backends", action="store_true",
+                      help="time only the kernels (skip the end-to-end "
+                           "backend sweep)")
+    perf.add_argument("--out", metavar="PATH",
+                      help="write the measurements to JSON")
     return parser
 
 
@@ -282,6 +312,7 @@ def _make_config(args, **overrides) -> TrainerConfig:
                 divergence_limit=getattr(args, "divergence_limit", 1.0e6),
                 sanitize=getattr(args, "sanitize", False),
                 sparse_comm=getattr(args, "sparse_comm", "off"),
+                backend=getattr(args, "backend", "serial"),
                 eval_every=args.eval_every, seed=args.seed,
                 failure_rate=getattr(args, "failure_rate", 0.0),
                 failure_schedule=getattr(args, "failure_schedule", None),
@@ -627,6 +658,55 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    # Imported here (not at module top): the harness is the one module
+    # allowed to read the wall clock, and most CLI commands never need it.
+    from .data import SyntheticSpec, generate
+    from .perf.harness import backend_sweep, kernel_benchmarks
+
+    kernels = kernel_benchmarks(rows=args.rows, features=args.features,
+                                repeats=args.repeats)
+    print(format_table(
+        ["kernel", "reference s", "fast s", "speedup", "bit-identical"],
+        [[e["kernel"], f"{e['reference_seconds']:.4f}",
+          f"{e['fast_seconds']:.4f}", f"{e['speedup']:.2f}x",
+          "yes" if e["bit_identical"] else "NO"] for e in kernels],
+        title=f"local-solver kernels: reference vs fast "
+              f"({args.rows} rows x {args.features} features, "
+              f"best of {args.repeats})"))
+
+    payload = {"bench": "wallclock-cli", "kernels": kernels}
+    if not args.skip_backends:
+        dataset = generate(SyntheticSpec(n_rows=400, n_features=48,
+                                         nnz_per_row=8.0, noise=0.02,
+                                         seed=17), name="perf-sweep")
+        objective = Objective("hinge", "l2", 0.1)
+
+        def make_trainer(backend: str):
+            config = TrainerConfig(max_steps=args.steps, learning_rate=0.3,
+                                   lr_schedule="inv_sqrt",
+                                   batch_fraction=0.25, local_chunk_size=16,
+                                   seed=args.seed, backend=backend)
+            return MLlibStarTrainer(
+                objective, cluster1(executors=args.executors), config)
+
+        sweep = backend_sweep(make_trainer, dataset, repeats=args.repeats)
+        print()
+        print(format_table(
+            ["backend", "wall s", "speedup vs baseline"],
+            [[name, f"{sweep['seconds'][name]:.4f}",
+              f"{sweep['speedup_vs_baseline'][name]:.2f}x"]
+             for name in sweep["seconds"]],
+            title=f"MLlib* end-to-end backends (baseline: "
+                  f"{sweep['baseline']}; histories bit-identical)"))
+        payload["backends"] = sweep
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2),
+                                  encoding="ascii")
+        print(f"wrote {args.out}")
+    return 0
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "train": cmd_train,
@@ -638,6 +718,7 @@ COMMANDS = {
     "predict": cmd_predict,
     "models": cmd_models,
     "serve-bench": cmd_serve_bench,
+    "perf": cmd_perf,
 }
 
 

@@ -92,6 +92,14 @@ class TrainerConfig:
         priced communication cost only, never the numerics — iterates are
         bit-identical across all three modes.  See
         :mod:`repro.collectives.sparse`.
+    backend:
+        Host-side execution backend for the per-worker local solves:
+        ``serial`` (in-process reference loop), ``threads`` (thread pool;
+        NumPy kernels release the GIL) or ``processes`` (process pool
+        with pickle-once partitions).  A *wall-clock* knob only: every
+        backend produces bit-identical iterates, histories and simulated
+        seconds (fixed per-worker RNG streams, fixed combine order).  See
+        :mod:`repro.engine.backend` and ``docs/performance.md``.
     """
 
     learning_rate: float = 0.1
@@ -114,6 +122,7 @@ class TrainerConfig:
     restart_seconds: float = 1.0
     sanitize: bool = False
     sparse_comm: str = "off"
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -145,6 +154,9 @@ class TrainerConfig:
             raise ValueError("restart_seconds must be non-negative")
         if self.sparse_comm not in ("auto", "on", "off"):
             raise ValueError("sparse_comm must be 'auto', 'on' or 'off'")
+        if self.backend not in ("serial", "threads", "processes"):
+            raise ValueError("backend must be 'serial', 'threads' or "
+                             "'processes'")
 
     def with_overrides(self, **kwargs) -> "TrainerConfig":
         """Return a copy with the given fields replaced."""

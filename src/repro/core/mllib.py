@@ -24,9 +24,10 @@ from ..cluster import ClusterSpec, Trace
 from ..collectives import tree_fan_in_wire
 from ..engine import (BroadcastModel, BspEngine, PartitionedDataset,
                       TreeAggregateModel)
-from ..glm import Objective, apply_update, sample_batch
+from ..glm import Objective, apply_update
 from .config import TrainerConfig
 from .trainer import DistributedTrainer
+from .worker import gradient_wave_task
 
 __all__ = ["MLlibTrainer"]
 
@@ -74,24 +75,26 @@ class MLlibTrainer(DistributedTrainer):
         # With multiple waves, each executor runs its tasks sequentially
         # (one core slot per the paper's setting), each task sampling a
         # share of the batch, paying a launch overhead, and later shipping
-        # its own gradient (Section V-C).
+        # its own gradient (Section V-C).  Executors are independent, so
+        # the per-executor work fans out across the execution backend;
+        # pricing stays in the parent against the returned nnz counts.
         waves = self.config.tasks_per_executor
         launch = self.cluster.compute.task_launch_seconds
-        gradients: list[np.ndarray] = []
-        task_grads_by_executor: list[list[np.ndarray]] = []
-        durations: list[float] = []
+        task_args = []
         for i, part in enumerate(data.partitions):
             batch = self._batch_size(part.n_rows)
             per_task = max(1, batch // waves)
-            task_grads: list[np.ndarray] = []
+            task_args.append((w, self.objective, waves, per_task,
+                              self._rngs[i]))
+        results = self._backend.map_partitions(gradient_wave_task, task_args)
+        gradients: list[np.ndarray] = []
+        task_grads_by_executor: list[list[np.ndarray]] = []
+        durations: list[float] = []
+        for i, (task_grads, nnz_list, rng) in enumerate(results):
+            self._rngs[i] = rng
             seconds = 0.0
-            for _ in range(waves):
-                Xb, yb = sample_batch(part.X, part.y, per_task,
-                                      self._rngs[i])
-                task_grads.append(
-                    self.objective.batch_loss_gradient(w, Xb, yb))
-                seconds += (launch
-                            + self._compute_seconds(2 * int(Xb.nnz), 0, i))
+            for nnz in nnz_list:
+                seconds += launch + self._compute_seconds(2 * nnz, 0, i)
             gradients.append(np.mean(task_grads, axis=0))
             task_grads_by_executor.append(task_grads)
             durations.append(seconds)

@@ -20,8 +20,8 @@ from ..engine import (BroadcastModel, BspEngine, PartitionedDataset,
                       TreeAggregateModel)
 from ..glm import Objective
 from .config import TrainerConfig
-from .local import send_model_update
 from .trainer import DistributedTrainer
+from .worker import send_model_task
 
 __all__ = ["MLlibModelAveragingTrainer"]
 
@@ -65,12 +65,16 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
         m = data.n_features
         lr = self.schedule.at(step)
 
-        # Phase 1: every executor updates a local model over its partition.
+        # Phase 1: every executor updates a local model over its partition
+        # (independent local solves; fanned out across the backend).
+        results = self._backend.map_partitions(
+            send_model_task,
+            [(w, self.objective, lr, self.config, self._rngs[i])
+             for i in range(data.num_partitions)])
         locals_: list[np.ndarray] = []
         durations: list[float] = []
-        for i, part in enumerate(data.partitions):
-            local_w, stats = send_model_update(
-                self.objective, w, part, lr, self.config, self._rngs[i])
+        for i, (local_w, stats, rng) in enumerate(results):
+            self._rngs[i] = rng
             locals_.append(local_w)
             durations.append(self._compute_seconds(
                 stats.nnz_processed, stats.dense_ops, i))

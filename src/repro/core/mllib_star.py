@@ -25,8 +25,8 @@ from ..collectives import sparse_all_gather, sparse_reduce_scatter
 from ..engine import BspEngine, PartitionedDataset
 from ..glm import Objective
 from .config import TrainerConfig
-from .local import send_model_update
 from .trainer import DistributedTrainer
+from .worker import send_model_task
 
 __all__ = ["MLlibStarTrainer"]
 
@@ -81,12 +81,17 @@ class MLlibStarTrainer(DistributedTrainer):
         m = data.n_features
         lr = self.schedule.at(step)
 
-        # Phase 1: UpdateModel on every executor.
+        # Phase 1: UpdateModel on every executor — independent local SGD
+        # passes, fanned out across the execution backend (the combining
+        # below stays in the parent, in fixed order).
+        results = self._backend.map_partitions(
+            send_model_task,
+            [(w, self.objective, lr, self.config, self._rngs[i])
+             for i in range(data.num_partitions)])
         locals_: list[np.ndarray] = []
         durations: list[float] = []
-        for i, part in enumerate(data.partitions):
-            local_w, stats = send_model_update(
-                self.objective, w, part, lr, self.config, self._rngs[i])
+        for i, (local_w, stats, rng) in enumerate(results):
+            self._rngs[i] = rng
             locals_.append(local_w)
             durations.append(self._compute_seconds(
                 stats.nnz_processed, stats.dense_ops, i))

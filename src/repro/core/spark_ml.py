@@ -34,6 +34,7 @@ from ..glm import Objective
 from ..glm.lbfgs import LbfgsState, wolfe_line_search
 from .config import TrainerConfig
 from .trainer import DistributedTrainer
+from .worker import full_pass_task
 
 __all__ = ["SparkMlTrainer", "SparkMlStarTrainer"]
 
@@ -75,16 +76,23 @@ class SparkMlTrainer(DistributedTrainer):
     # ------------------------------------------------------------------
     def _local_fg(self, w: np.ndarray, data: PartitionedDataset,
                   ) -> tuple[float, np.ndarray, list[float]]:
-        """Full-batch objective and gradient: one pass per executor."""
+        """Full-batch objective and gradient: one pass per executor.
+
+        The per-partition passes fan out across the execution backend;
+        the weighted accumulation runs in the parent, in partition order
+        — the serial loop's exact float-op sequence.
+        """
+        results = self._backend.map_partitions(
+            full_pass_task, [(w, self.objective) for _ in data.partitions])
         total_rows = sum(p.n_rows for p in data.partitions)
         fval = self.objective.regularizer.value(w)
         grad = self.objective.regularizer.gradient(w)
         durations = []
         for i, part in enumerate(data.partitions):
             weight = part.n_rows / total_rows
-            fval += weight * self.objective.loss_value(w, part.X, part.y)
-            grad = grad + weight * self.objective.batch_loss_gradient(
-                w, part.X, part.y)
+            loss_value, loss_grad = results[i]
+            fval += weight * loss_value
+            grad = grad + weight * loss_grad
             durations.append(self._compute_seconds(2 * part.nnz, 0, i))
         return fval, grad, durations
 

@@ -30,8 +30,10 @@ from ..cluster.faults import (FailureRecord, RecoveryPolicy,
                               build_failure_model)
 from ..data import SparseDataset
 from ..engine import CommRecord, PartitionedDataset
+from ..engine.backend import ExecutionBackend, SerialBackend, make_backend
 from ..glm import GLMModel, Objective, get_schedule
 from ..metrics import TrainingHistory
+from ..perf.profiler import NullProfiler, PhaseProfiler
 from .config import TrainerConfig
 
 __all__ = ["TrainResult", "DistributedTrainer"]
@@ -114,6 +116,17 @@ class DistributedTrainer:
         #: superstep boundary and logs barrier digests.  Disabled (all
         #: hooks no-ops) unless ``config.sanitize`` is set.
         self.sanitizer = BarrierSanitizer(enabled=self.config.sanitize)
+        #: Execution backend for the per-worker local solves
+        #: (``config.backend``).  A fresh pool is built per ``fit`` and
+        #: torn down when it returns; between fits a serial stub keeps
+        #: direct ``_run_step`` calls working.  Purely a wall-clock
+        #: choice — results are bit-identical across backends.
+        self._backend: ExecutionBackend = SerialBackend()
+        #: Wall-clock profiler hook (:mod:`repro.perf.profiler`).  The
+        #: default records nothing; install a ``PhaseProfiler`` before
+        #: ``fit`` to collect ``superstep`` / ``evaluate`` /
+        #: ``local_solve`` phase timings.
+        self.profiler: PhaseProfiler = NullProfiler()
 
     # ------------------------------------------------------------------
     # subclass contract
@@ -202,6 +215,24 @@ class DistributedTrainer:
         data = PartitionedDataset.load(dataset, self.cluster,
                                        strategy=partition_strategy,
                                        seed=self.config.seed)
+        # Build the local-solve execution pool for this run.  Partitions
+        # are installed exactly once (pickle-once for process pools); the
+        # pool is torn down in the ``finally`` below, leaving a serial
+        # stub so post-fit introspection keeps working.
+        self._backend = make_backend(self.config.backend)
+        self._backend.profiler = self.profiler
+        self._backend.install_partitions(data.partitions)
+        try:
+            return self._fit_prepared(dataset, data, initial_weights)
+        finally:
+            self._backend.close()
+            stub = SerialBackend()
+            stub.install_partitions(data.partitions)
+            self._backend = stub
+
+    def _fit_prepared(self, dataset: SparseDataset, data: PartitionedDataset,
+                      initial_weights: np.ndarray | None) -> TrainResult:
+        """The training loop proper (backend lifecycle handled by fit)."""
         self._prepare(data)
 
         if initial_weights is None:
@@ -220,13 +251,15 @@ class DistributedTrainer:
         self._on_initial_model(w, data)
         history = TrainingHistory(system=self.system, dataset=dataset.name,
                                   detail=self.objective.describe())
-        objective_value = self.objective.value(w, dataset.X, dataset.y)
+        with self.profiler.phase("evaluate"):
+            objective_value = self.objective.value(w, dataset.X, dataset.y)
         history.record(0, self._clock(), objective_value)
 
         converged = False
         diverged = False
         for step in range(1, self.config.max_steps + 1):
-            w = self._run_step(step, w, data)
+            with self.profiler.phase("superstep"):
+                w = self._run_step(step, w, data)
             w = self.sanitizer.freeze(w)
             self.sanitizer.record_barrier(step, w)
             is_last = step == self.config.max_steps
@@ -235,7 +268,9 @@ class DistributedTrainer:
                 self._checkpoint_phase(step, dataset.n_features)
             if step % self.config.eval_every and not is_last:
                 continue
-            objective_value = self.objective.value(w, dataset.X, dataset.y)
+            with self.profiler.phase("evaluate"):
+                objective_value = self.objective.value(w, dataset.X,
+                                                       dataset.y)
             history.record(step, self._clock(), objective_value)
             if (not math.isfinite(objective_value)
                     or objective_value > self.config.divergence_limit):

@@ -1,0 +1,108 @@
+"""Module-level worker task functions for the execution backends.
+
+Each function here is one worker's share of a superstep's local-solve
+phase, shaped for :mod:`repro.engine.backend`:
+
+* **module-level and partition-first** — process pools pickle functions
+  by reference and look the partition up in the pool-side store, so every
+  task takes ``(partition, ...)`` and must be importable by name;
+* **RNG round-trip** — tasks that draw randomness receive the worker's
+  private ``Generator`` and return it; the trainer stores the returned
+  generator back into ``self._rngs[i]``.  In-process backends hand back
+  the same (already advanced) object; the process backend hands back a
+  pickled copy whose state round-trips exactly, so RNG streams advance
+  bit-identically to the serial loop no matter the backend;
+* **numerics only** — simulated-seconds pricing stays in the parent
+  (tasks return raw work stats), so the cost model never crosses a
+  process boundary and the priced clock is backend-invariant.
+
+Cross-worker combining (means, reduce-scatter, server pushes) stays in
+the trainers, in the serial code's float-addition order — that, plus the
+ordered map, is what makes every backend bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Partition
+from ..glm import (LocalStats, Objective, gd_step, mgd_epoch, sample_batch,
+                   sgd_epoch)
+from .config import TrainerConfig
+from .local import send_model_update
+
+__all__ = ["gradient_wave_task", "send_model_task", "petuum_batch_task",
+           "angel_epoch_task", "full_pass_task", "asgd_gradient_task"]
+
+
+def gradient_wave_task(part: Partition, w: np.ndarray, objective: Objective,
+                       waves: int, per_task: int, rng: np.random.Generator,
+                       ) -> tuple[list[np.ndarray], list[int],
+                                  np.random.Generator]:
+    """MLlib SendGradient: ``waves`` sequential batch gradients at ``w``."""
+    task_grads: list[np.ndarray] = []
+    nnz: list[int] = []
+    for _ in range(waves):
+        Xb, yb = sample_batch(part.X, part.y, per_task, rng)
+        task_grads.append(objective.batch_loss_gradient(w, Xb, yb))
+        nnz.append(int(Xb.nnz))
+    return task_grads, nnz, rng
+
+
+def send_model_task(part: Partition, w: np.ndarray, objective: Objective,
+                    lr: float, config: TrainerConfig,
+                    rng: np.random.Generator,
+                    ) -> tuple[np.ndarray, LocalStats, np.random.Generator]:
+    """SendModel (MLlib+MA / MLlib* / Petuum*-style): local SGD passes."""
+    local_w, stats = send_model_update(objective, w, part, lr, config, rng)
+    return local_w, stats, rng
+
+
+def petuum_batch_task(part: Partition, w: np.ndarray, objective: Objective,
+                      lr: float, batch: int, config: TrainerConfig,
+                      rng: np.random.Generator,
+                      ) -> tuple[np.ndarray, LocalStats,
+                                 np.random.Generator]:
+    """Petuum: one batch per step — GD if regularized, else parallel SGD
+    inside the batch (Section III-B1)."""
+    Xb, yb = sample_batch(part.X, part.y, batch, rng)
+    if objective.is_regularized:
+        # One GD update over the batch (dense updates kept rare).
+        local_w, stats = gd_step(objective, w, Xb, yb, lr)
+    else:
+        # Parallel SGD inside the batch: many updates per step.
+        local_w, stats = sgd_epoch(objective, w, Xb, yb, lr, rng,
+                                   chunk_size=config.local_chunk_size,
+                                   lazy=config.lazy_l2)
+    return local_w, stats, rng
+
+
+def angel_epoch_task(part: Partition, w: np.ndarray, objective: Objective,
+                     lr: float, batch: int, rng: np.random.Generator,
+                     ) -> tuple[np.ndarray, LocalStats,
+                                np.random.Generator]:
+    """Angel: one mini-batch GD pass over the whole partition per step."""
+    local_w, stats = mgd_epoch(objective, w, part.X, part.y, lr, batch, rng)
+    return local_w, stats, rng
+
+
+def full_pass_task(part: Partition, w: np.ndarray,
+                   objective: Objective) -> tuple[float, np.ndarray]:
+    """spark.ml: one partition's unweighted full-batch (loss, gradient).
+
+    The parent applies the ``n_rows / total_rows`` weights and accumulates
+    in partition order — the exact float-op sequence of the serial loop.
+    """
+    fval = objective.loss_value(w, part.X, part.y)
+    grad = objective.batch_loss_gradient(w, part.X, part.y)
+    return fval, grad
+
+
+def asgd_gradient_task(part: Partition, model: np.ndarray,
+                       objective: Objective, batch: int,
+                       rng: np.random.Generator,
+                       ) -> tuple[np.ndarray, int, np.random.Generator]:
+    """ASGD: one worker's batch gradient at its pulled model snapshot."""
+    Xb, yb = sample_batch(part.X, part.y, batch, rng)
+    grad = objective.batch_loss_gradient(model, Xb, yb)
+    return grad, int(Xb.nnz), rng

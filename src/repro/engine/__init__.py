@@ -1,6 +1,8 @@
 """Spark-like BSP execution engine: RDDs, driver, aggregation, shuffle."""
 
 from .aggregation import TreeAggregateModel, TreeAggregateTiming
+from .backend import (BACKENDS, ExecutionBackend, ProcessBackend,
+                      SerialBackend, ThreadBackend, make_backend)
 from .broadcast import BroadcastModel
 from .dag import MiniRdd, RddContext
 from .driver import DRIVER_LABEL, BspEngine, CommRecord, executor_label
@@ -10,6 +12,8 @@ from .shuffle import ShuffleModel, exchange
 __all__ = [
     "BspEngine", "CommRecord", "DRIVER_LABEL", "executor_label",
     "PartitionedDataset",
+    "BACKENDS", "ExecutionBackend", "SerialBackend", "ThreadBackend",
+    "ProcessBackend", "make_backend",
     "TreeAggregateModel", "TreeAggregateTiming",
     "BroadcastModel",
     "ShuffleModel", "exchange",

@@ -1,0 +1,221 @@
+"""Execution backends: fan per-worker local solves across real cores.
+
+Every superstep of every system in the study contains an embarrassingly
+parallel region — ``k`` independent local solves (``gd_step`` /
+``mgd_epoch`` / ``sgd_epoch`` / full-pass gradients), one per cached
+partition — that the simulation previously executed serially in one
+Python process.  An :class:`ExecutionBackend` owns that region:
+
+* ``serial``    — in-process loop (the reference behaviour, zero overhead);
+* ``threads``   — a thread pool; partitions are shared by reference.
+  NumPy/SciPy kernels release the GIL inside matvecs, so wide models see
+  real overlap; small ones mostly measure pool overhead;
+* ``processes`` — a process pool with **pickle-once** partitions: the CSR
+  partitions are shipped to each worker process exactly once via the pool
+  initializer (free under ``fork`` — the pages are inherited
+  copy-on-write), and per-call traffic is just the broadcast model, the
+  task args and the returned local model.
+
+Bit-identity is structural, not statistical: tasks are submitted and
+collected in partition-index order, every task receives (and returns) its
+worker's private RNG so streams advance exactly as in the serial loop,
+and all cross-worker *combining* stays in the parent in the serial code's
+float-addition order.  ``tests/test_perf_backend.py`` asserts every
+system's ``TrainResult.history`` is bit-identical across all three
+backends, and the golden convergence test pins the serial numbers.
+
+Task functions must be module-level (pickled by reference); see
+:mod:`repro.core.worker`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from ..perf.profiler import NullProfiler, PhaseProfiler
+
+__all__ = ["BACKENDS", "ExecutionBackend", "SerialBackend",
+           "ThreadBackend", "ProcessBackend", "make_backend"]
+
+#: Valid ``TrainerConfig.backend`` / ``--backend`` values.
+BACKENDS = ("serial", "threads", "processes")
+
+#: Per-process partition store, installed once by the pool initializer.
+#: Worker processes index into it instead of receiving partitions per
+#: task — the "pickle-once" half of the shared-memory design (under the
+#: preferred ``fork`` start method not even one pickle happens: the
+#: child inherits the parent's pages copy-on-write).
+_PROCESS_PARTITIONS: Sequence[Any] | None = None
+
+
+def _install_process_partitions(partitions: Sequence[Any]) -> None:
+    global _PROCESS_PARTITIONS
+    _PROCESS_PARTITIONS = partitions
+
+
+def _run_on_partition(fn: Callable[..., Any], index: int,
+                      args: tuple) -> Any:
+    """Pool-side trampoline: look the partition up by worker index."""
+    assert _PROCESS_PARTITIONS is not None, "pool initializer did not run"
+    return fn(_PROCESS_PARTITIONS[index], *args)
+
+
+class ExecutionBackend:
+    """Runs per-worker task functions against installed partitions.
+
+    Lifecycle: ``install_partitions`` once per ``fit`` (before the first
+    step), then any number of ``map_partitions`` / ``run_one`` calls, then
+    ``close``.  Results always come back in submission (partition-index)
+    order, so parent-side combining is order-identical to the serial loop.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        #: Wall-clock hook; trainers install theirs so the fanned-out
+        #: local-solve region shows up as the ``local_solve`` phase.
+        self.profiler: PhaseProfiler = NullProfiler()
+
+    def install_partitions(self, partitions: Sequence[Any]) -> None:
+        raise NotImplementedError
+
+    def map_partitions(self, fn: Callable[..., Any],
+                       args_by_worker: Sequence[tuple]) -> list[Any]:
+        """Run ``fn(partitions[i], *args_by_worker[i])`` for every ``i``."""
+        raise NotImplementedError
+
+    def run_one(self, fn: Callable[..., Any], worker: int,
+                args: tuple) -> Any:
+        """Run ``fn(partitions[worker], *args)`` (event-driven trainers)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution — the reference the parallel backends match."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._partitions: Sequence[Any] = ()
+
+    def install_partitions(self, partitions: Sequence[Any]) -> None:
+        self._partitions = list(partitions)
+
+    def map_partitions(self, fn: Callable[..., Any],
+                       args_by_worker: Sequence[tuple]) -> list[Any]:
+        with self.profiler.phase("local_solve"):
+            return [fn(self._partitions[i], *args)
+                    for i, args in enumerate(args_by_worker)]
+
+    def run_one(self, fn: Callable[..., Any], worker: int,
+                args: tuple) -> Any:
+        with self.profiler.phase("local_solve"):
+            return fn(self._partitions[worker], *args)
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared submit/collect logic for the thread and process pools."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._pool: Executor | None = None
+
+    def _pool_size(self, num_partitions: int) -> int:
+        if self._max_workers is not None:
+            return max(1, min(self._max_workers, num_partitions))
+        return max(1, min(num_partitions, os.cpu_count() or 1))
+
+    def _submit(self, fn: Callable[..., Any], index: int,
+                args: tuple) -> Any:
+        raise NotImplementedError
+
+    def map_partitions(self, fn: Callable[..., Any],
+                       args_by_worker: Sequence[tuple]) -> list[Any]:
+        assert self._pool is not None, "install_partitions() not called"
+        with self.profiler.phase("local_solve"):
+            futures = [self._submit(fn, i, args)
+                       for i, args in enumerate(args_by_worker)]
+            return [future.result() for future in futures]
+
+    def run_one(self, fn: Callable[..., Any], worker: int,
+                args: tuple) -> Any:
+        assert self._pool is not None, "install_partitions() not called"
+        with self.profiler.phase("local_solve"):
+            return self._submit(fn, worker, args).result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread pool; partitions shared by reference (no copies at all)."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__(max_workers)
+        self._partitions: Sequence[Any] = ()
+
+    def install_partitions(self, partitions: Sequence[Any]) -> None:
+        self.close()
+        self._partitions = list(partitions)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._pool_size(len(self._partitions)),
+            thread_name_prefix="repro-worker")
+
+    def _submit(self, fn: Callable[..., Any], index: int,
+                args: tuple) -> Any:
+        assert self._pool is not None
+        return self._pool.submit(fn, self._partitions[index], *args)
+
+
+class ProcessBackend(_PoolBackend):
+    """Process pool with pickle-once partition installation.
+
+    Prefers the ``fork`` start method (partitions are inherited
+    copy-on-write — no serialization at all); falls back to the
+    platform default, where the pool initializer ships the partition
+    list to each worker process exactly once.
+    """
+
+    name = "processes"
+
+    def install_partitions(self, partitions: Sequence[Any]) -> None:
+        self.close()
+        parts = list(partitions)
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._pool_size(len(parts)),
+            mp_context=ctx,
+            initializer=_install_process_partitions,
+            initargs=(parts,))
+
+    def _submit(self, fn: Callable[..., Any], index: int,
+                args: tuple) -> Any:
+        assert self._pool is not None
+        return self._pool.submit(_run_on_partition, fn, index, args)
+
+
+def make_backend(name: str,
+                 max_workers: int | None = None) -> ExecutionBackend:
+    """Build the backend named by ``TrainerConfig.backend``."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "threads":
+        return ThreadBackend(max_workers)
+    if name == "processes":
+        return ProcessBackend(max_workers)
+    raise ValueError(f"unknown backend {name!r}; expected one of "
+                     f"{BACKENDS}")

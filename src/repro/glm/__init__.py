@@ -1,9 +1,11 @@
 """GLM math substrate: losses, regularizers, objective, local solvers."""
 
 from .evaluation import BinaryMetrics, evaluate_binary, roc_auc
+from .kernels import (apply_update_inplace, chunk_grad_touched,
+                      chunk_margins, permuted_epoch, touched_columns)
 from .lazy_update import ScaledVector
 from .local_solvers import (LocalStats, apply_update, gd_step, mgd_epoch,
-                            sample_batch, sgd_epoch)
+                            sample_batch, sgd_epoch, use_reference_kernels)
 from .losses import (LOSSES, HingeLoss, LogisticLoss, Loss,
                      SquaredHingeLoss, SquaredLoss, get_loss)
 from .model import (ARTIFACT_FORMAT, ARTIFACT_VERSION, ArtifactError,
@@ -24,6 +26,8 @@ __all__ = [
     "ArtifactError", "ARTIFACT_FORMAT", "ARTIFACT_VERSION",
     "read_artifact_meta",
     "LocalStats", "gd_step", "mgd_epoch", "sgd_epoch", "sample_batch",
-    "apply_update",
+    "apply_update", "use_reference_kernels",
+    "apply_update_inplace", "chunk_grad_touched", "chunk_margins",
+    "permuted_epoch", "touched_columns",
     "LearningRate", "ConstantLR", "InvSqrtLR", "InvTimeLR", "get_schedule",
 ]

@@ -49,6 +49,19 @@ class ScaledVector:
     def scale(self) -> float:
         return self._scale
 
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the unscaled storage (``w == scale * values``).
+
+        Hot paths (margin computation in ``sgd_epoch``) need the raw
+        storage to dot against without materializing ``scale * values``;
+        the view is write-protected so callers cannot bypass
+        :meth:`axpy_sparse`'s ``dense_ops`` accounting.
+        """
+        view = self._values.view()
+        view.setflags(write=False)
+        return view
+
     def to_array(self) -> np.ndarray:
         """Materialize the logical vector (does not mutate the state)."""
         return self._scale * self._values

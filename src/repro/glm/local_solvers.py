@@ -15,20 +15,55 @@ partition.  Three flavours cover every system in the paper:
 All solvers return a fresh weight vector plus :class:`LocalStats` so the
 cluster cost model can convert the work into simulated seconds.  ``y``
 labels are in {-1, +1}; gradients are means over the examples used.
+
+The epoch loops run on the fast CSR kernels of :mod:`repro.glm.kernels`
+(pre-permuted epoch slicing, support-gathered gradients, in-place
+updates).  :func:`use_reference_kernels` temporarily routes them to the
+retained pre-optimization bodies in :mod:`repro.glm.reference` — both
+paths are bit-identical (enforced by ``tests/test_perf_kernels.py``); the
+switch exists so tests can compare them and so the wall-clock bench can
+measure the "before" baseline.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 import scipy.sparse as sp
 
+from .kernels import (apply_update_inplace, chunk_grad_touched,
+                      chunk_margins, permuted_epoch, touched_columns)
 from .lazy_update import ScaledVector
 from .objective import Objective
 
 __all__ = ["LocalStats", "gd_step", "mgd_epoch", "sgd_epoch",
-           "sample_batch", "apply_update"]
+           "sample_batch", "apply_update", "use_reference_kernels"]
+
+#: Active kernel implementation: ``"fast"`` (default) or ``"reference"``.
+#: Module-level so :func:`use_reference_kernels` can flip it for a scope;
+#: it selects between bit-identical implementations, so it can never
+#: change results — only wall-clock speed.
+_KERNEL_MODE = ["fast"]
+
+
+@contextmanager
+def use_reference_kernels() -> Iterator[None]:
+    """Run epoch solvers on the retained reference implementations.
+
+    For tests (comparing fast vs reference bit-for-bit) and for the
+    wall-clock benchmark's "before" baseline.  Process-local: parallel
+    backends do not see a flip made after their pool started, so
+    benchmarks pair reference kernels with the serial backend.
+    """
+    previous = _KERNEL_MODE[0]
+    _KERNEL_MODE[0] = "reference"
+    try:
+        yield
+    finally:
+        _KERNEL_MODE[0] = previous
 
 
 @dataclass
@@ -58,6 +93,9 @@ def sample_batch(X: sp.csr_matrix, y: np.ndarray, batch_size: int,
     n = X.shape[0]
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
+    if n == 0:
+        raise ValueError("partition is empty: cannot sample a batch from "
+                         "zero rows")
     take = min(batch_size, n)
     rows = rng.choice(n, size=take, replace=False)
     return X[rows], y[rows]
@@ -102,13 +140,19 @@ def mgd_epoch(objective: Objective, w: np.ndarray, X: sp.csr_matrix,
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
     order = rng.permutation(n) if shuffle else np.arange(n)
+    if _KERNEL_MODE[0] == "reference":
+        from . import reference
+        return reference.mgd_epoch_reference(objective, w, X, y, lr,
+                                             batch_size, order)
+    Xp, yp = permuted_epoch(X, y, order, shuffle)
     stats = LocalStats()
     current = np.array(w, copy=True)
+    scratch = np.empty_like(current)
     for start in range(0, n, batch_size):
-        rows = order[start:start + batch_size]
-        Xb, yb = X[rows], y[rows]
+        Xb = Xp[start:start + batch_size]
+        yb = yp[start:start + batch_size]
         grad = objective.batch_loss_gradient(current, Xb, yb)
-        current = apply_update(current, grad, lr, objective)
+        apply_update_inplace(current, grad, lr, objective, scratch)
         stats.nnz_processed += 2 * int(Xb.nnz)
         stats.n_updates += 1
         if objective.regularizer.is_dense:
@@ -116,19 +160,35 @@ def mgd_epoch(objective: Objective, w: np.ndarray, X: sp.csr_matrix,
     return current, stats
 
 
-def _sgd_epoch_lazy(objective: Objective, w: np.ndarray, X: sp.csr_matrix,
-                    y: np.ndarray, lr: float, chunk_size: int,
-                    order: np.ndarray) -> tuple[np.ndarray, LocalStats]:
-    """Chunked SGD with L2 handled through a :class:`ScaledVector`."""
+def _sgd_epoch_lazy(objective: Objective, w: np.ndarray, Xp: sp.csr_matrix,
+                    yp: np.ndarray, lr: float,
+                    chunk_size: int) -> tuple[np.ndarray, LocalStats]:
+    """Chunked SGD with L2 handled through a :class:`ScaledVector`.
+
+    ``Xp``/``yp`` are already in epoch order (see
+    :func:`repro.glm.kernels.permuted_epoch`), so each chunk is a
+    contiguous slice of the raw CSR arrays — no ``csr_matrix`` is
+    constructed per chunk — and gradients are gathered on the chunk's
+    column support instead of materializing an ``m``-length dense array.
+    """
     lam = objective.regularizer.strength
     sv = ScaledVector(w)
     stats = LocalStats()
-    for start in range(0, order.size, chunk_size):
-        rows = order[start:start + chunk_size]
-        Xc, yc = X[rows], y[rows]
-        margins = sv.scale * (Xc @ sv._values)  # noqa: SLF001 - hot path
+    n = Xp.shape[0]
+    indptr, indices, data = Xp.indptr, Xp.indices, Xp.data
+    single_row = chunk_size == 1 and Xp.has_canonical_format
+    for start in range(0, n, chunk_size):
+        end = min(start + chunk_size, n)
+        yc = yp[start:end]
+        lo, hi = indptr[start], indptr[end]
+        idx = indices[lo:hi]
+        dat = data[lo:hi]
+        row_nnz = np.diff(indptr[start:end + 1])
+        margins = sv.scale * chunk_margins(idx, dat, row_nnz, sv.values,
+                                           end - start)
         factor = objective.loss.gradient_factor(margins, yc)
-        grad = np.asarray(Xc.T @ factor) / Xc.shape[0]
+        touched = touched_columns(idx, single_row=single_row)
+        grad = chunk_grad_touched(idx, dat, row_nnz, factor, touched)
         if lam:
             decay = 1.0 - lr * lam
             if decay <= 0:
@@ -136,26 +196,27 @@ def _sgd_epoch_lazy(objective: Objective, w: np.ndarray, X: sp.csr_matrix,
                     f"lr * lambda = {lr * lam:g} >= 1 makes the lazy decay "
                     "non-positive; lower the learning rate")
             sv.decay(decay)
-        touched = np.unique(Xc.indices)
-        sv.axpy_sparse(-lr, touched, grad[touched])
-        stats.nnz_processed += 2 * int(Xc.nnz)
+        sv.axpy_sparse(-lr, touched, grad)
+        stats.nnz_processed += 2 * int(idx.size)
         stats.n_updates += 1
     stats.dense_ops = sv.dense_ops + sv.dim  # final materialization
     return sv.to_array(), stats
 
 
-def _sgd_epoch_eager(objective: Objective, w: np.ndarray, X: sp.csr_matrix,
-                     y: np.ndarray, lr: float, chunk_size: int,
-                     order: np.ndarray) -> tuple[np.ndarray, LocalStats]:
+def _sgd_epoch_eager(objective: Objective, w: np.ndarray, Xp: sp.csr_matrix,
+                     yp: np.ndarray, lr: float,
+                     chunk_size: int) -> tuple[np.ndarray, LocalStats]:
     """Chunked SGD with the regularizer applied densely every update."""
     stats = LocalStats()
     current = np.array(w, copy=True)
+    scratch = np.empty_like(current)
     reg = objective.regularizer
-    for start in range(0, order.size, chunk_size):
-        rows = order[start:start + chunk_size]
-        Xc, yc = X[rows], y[rows]
+    n = Xp.shape[0]
+    for start in range(0, n, chunk_size):
+        Xc = Xp[start:start + chunk_size]
+        yc = yp[start:start + chunk_size]
         grad = objective.batch_loss_gradient(current, Xc, yc)
-        current = apply_update(current, grad, lr, objective)
+        apply_update_inplace(current, grad, lr, objective, scratch)
         stats.nnz_processed += 2 * int(Xc.nnz)
         stats.n_updates += 1
         if reg.is_dense:
@@ -181,6 +242,14 @@ def sgd_epoch(objective: Objective, w: np.ndarray, X: sp.csr_matrix,
     n = X.shape[0]
     order = rng.permutation(n) if shuffle else np.arange(n)
     use_lazy = (lazy and objective.regularizer.name in ("none", "l2"))
+    if _KERNEL_MODE[0] == "reference":
+        from . import reference
+        if use_lazy:
+            return reference.sgd_epoch_lazy_reference(
+                objective, w, X, y, lr, chunk_size, order)
+        return reference.sgd_epoch_eager_reference(
+            objective, w, X, y, lr, chunk_size, order)
+    Xp, yp = permuted_epoch(X, y, order, shuffle)
     if use_lazy:
-        return _sgd_epoch_lazy(objective, w, X, y, lr, chunk_size, order)
-    return _sgd_epoch_eager(objective, w, X, y, lr, chunk_size, order)
+        return _sgd_epoch_lazy(objective, w, Xp, yp, lr, chunk_size)
+    return _sgd_epoch_eager(objective, w, Xp, yp, lr, chunk_size)

@@ -1,0 +1,100 @@
+"""Retained reference implementations of the local-solver hot loops.
+
+These are the pre-optimization bodies of :func:`repro.glm.mgd_epoch` and
+:func:`repro.glm.sgd_epoch`, kept verbatim so the fast kernels in
+:mod:`repro.glm.kernels` have a bit-exact oracle:
+
+* the property tests (``tests/test_perf_kernels.py``) assert fast ==
+  reference across densities, chunk sizes and regularizers;
+* the wall-clock harness (:mod:`repro.perf.harness`) times reference vs
+  fast to report per-kernel speedups in ``BENCH_wallclock.json``;
+* :func:`repro.glm.use_reference_kernels` routes the public solver entry
+  points here, so whole training runs can be executed on the reference
+  path (the "before" baseline of the end-to-end benchmark).
+
+Each function takes the epoch's row ``order`` instead of an RNG — the
+dispatcher draws the permutation once, so reference and fast runs consume
+identical RNG streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .lazy_update import ScaledVector
+from .local_solvers import LocalStats, apply_update
+from .objective import Objective
+
+__all__ = ["mgd_epoch_reference", "sgd_epoch_lazy_reference",
+           "sgd_epoch_eager_reference"]
+
+
+def mgd_epoch_reference(objective: Objective, w: np.ndarray,
+                        X: sp.csr_matrix, y: np.ndarray, lr: float,
+                        batch_size: int,
+                        order: np.ndarray) -> tuple[np.ndarray, LocalStats]:
+    """Reference mini-batch GD pass: per-batch gather + fresh arrays."""
+    n = X.shape[0]
+    stats = LocalStats()
+    current = np.array(w, copy=True)
+    for start in range(0, n, batch_size):
+        rows = order[start:start + batch_size]
+        Xb, yb = X[rows], y[rows]
+        grad = objective.batch_loss_gradient(current, Xb, yb)
+        current = apply_update(current, grad, lr, objective)
+        stats.nnz_processed += 2 * int(Xb.nnz)
+        stats.n_updates += 1
+        if objective.regularizer.is_dense:
+            stats.dense_ops += w.shape[0]
+    return current, stats
+
+
+def sgd_epoch_lazy_reference(objective: Objective, w: np.ndarray,
+                             X: sp.csr_matrix, y: np.ndarray, lr: float,
+                             chunk_size: int, order: np.ndarray,
+                             ) -> tuple[np.ndarray, LocalStats]:
+    """Reference chunked SGD with lazy L2: per-chunk gather, dense
+    per-chunk gradient, ``np.unique`` support."""
+    lam = objective.regularizer.strength
+    sv = ScaledVector(w)
+    stats = LocalStats()
+    for start in range(0, order.size, chunk_size):
+        rows = order[start:start + chunk_size]
+        Xc, yc = X[rows], y[rows]
+        margins = sv.scale * (Xc @ sv.values)
+        factor = objective.loss.gradient_factor(margins, yc)
+        grad = np.asarray(Xc.T @ factor) / Xc.shape[0]
+        if lam:
+            decay = 1.0 - lr * lam
+            if decay <= 0:
+                raise ValueError(
+                    f"lr * lambda = {lr * lam:g} >= 1 makes the lazy decay "
+                    "non-positive; lower the learning rate")
+            sv.decay(decay)
+        touched = np.unique(Xc.indices)
+        sv.axpy_sparse(-lr, touched, grad[touched])
+        stats.nnz_processed += 2 * int(Xc.nnz)
+        stats.n_updates += 1
+    stats.dense_ops = sv.dense_ops + sv.dim  # final materialization
+    return sv.to_array(), stats
+
+
+def sgd_epoch_eager_reference(objective: Objective, w: np.ndarray,
+                              X: sp.csr_matrix, y: np.ndarray, lr: float,
+                              chunk_size: int, order: np.ndarray,
+                              ) -> tuple[np.ndarray, LocalStats]:
+    """Reference chunked SGD with the regularizer applied densely."""
+    stats = LocalStats()
+    current = np.array(w, copy=True)
+    reg = objective.regularizer
+    for start in range(0, order.size, chunk_size):
+        rows = order[start:start + chunk_size]
+        Xc, yc = X[rows], y[rows]
+        grad = objective.batch_loss_gradient(current, Xc, yc)
+        current = apply_update(current, grad, lr, objective)
+        stats.nnz_processed += 2 * int(Xc.nnz)
+        stats.n_updates += 1
+        if reg.is_dense:
+            stats.dense_ops += w.shape[0]
+    return current, stats

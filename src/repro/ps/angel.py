@@ -23,9 +23,10 @@ import numpy as np
 
 from ..cluster import ClusterSpec, Trace
 from ..engine import PartitionedDataset
-from ..glm import Objective, mgd_epoch
+from ..glm import Objective
 from ..core.config import TrainerConfig
 from ..core.trainer import DistributedTrainer
+from ..core.worker import angel_epoch_task
 from .consistency import BSP, Controller
 from .engine import PsEngine, push_wire_values
 
@@ -75,13 +76,19 @@ class AngelTrainer(DistributedTrainer):
         m = data.n_features
         lr = self.schedule.at(step)
 
+        # Per-epoch local work fans out across the execution backend;
+        # pricing (including the per-batch allocation overhead) stays in
+        # the parent against the returned stats.
+        results = self._backend.map_partitions(
+            angel_epoch_task,
+            [(w, self.objective, lr, self._batch_size(part.n_rows),
+              self._rngs[i])
+             for i, part in enumerate(data.partitions)])
         locals_: list[np.ndarray] = []
         durations: list[float] = []
         overheads: list[float] = []
-        for i, part in enumerate(data.partitions):
-            batch = self._batch_size(part.n_rows)
-            local_w, stats = mgd_epoch(self.objective, w, part.X, part.y,
-                                       lr, batch, self._rngs[i])
+        for i, (local_w, stats, rng) in enumerate(results):
+            self._rngs[i] = rng
             locals_.append(local_w)
             durations.append(self._compute_seconds(
                 stats.nnz_processed, stats.dense_ops, i))

@@ -30,8 +30,9 @@ from ..cluster import ClusterSpec, Trace
 from ..collectives import wire_values
 from ..core.config import TrainerConfig
 from ..core.trainer import DistributedTrainer
+from ..core.worker import asgd_gradient_task
 from ..engine import PartitionedDataset
-from ..glm import Objective, apply_update, sample_batch
+from ..glm import Objective, apply_update
 from .engine import worker_label
 
 __all__ = ["AsyncSgdTrainer"]
@@ -97,18 +98,23 @@ class AsyncSgdTrainer(DistributedTrainer):
         assert self._model is not None
         part = data.partitions[worker]
         batch = self._batch_size(part.n_rows)
-        Xb, yb = sample_batch(part.X, part.y, batch, self._rngs[worker])
         # The pulled snapshot is this worker's private read view of the
         # global model; under --sanitize it is frozen so a worker update
         # that writes through it raises at the faulting line.
         self._pulled[worker] = self.sanitizer.freeze(
             np.array(self._model, copy=True))
         self._pull_versions[worker] = self._updates_applied
-        self._pending[worker] = self.objective.batch_loss_gradient(
-            self._pulled[worker], Xb, yb)
+        # The batch-gradient compute runs through the execution backend
+        # (one worker at a time — the event loop itself is the scheduler).
+        gradient_result, batch_nnz, rng = self._backend.run_one(
+            asgd_gradient_task, worker,
+            (self._pulled[worker], self.objective, batch,
+             self._rngs[worker]))
+        self._rngs[worker] = rng
+        self._pending[worker] = gradient_result
 
         node = self.cluster.executors[worker]
-        compute = (self._compute_seconds(2 * int(Xb.nnz), 0, worker)
+        compute = (self._compute_seconds(2 * batch_nnz, 0, worker)
                    * self.cluster.slowdown(node, self._step_counter))
         m = data.n_features
         mode = self.config.sparse_comm

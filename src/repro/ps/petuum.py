@@ -22,9 +22,10 @@ import numpy as np
 
 from ..cluster import ClusterSpec, Trace
 from ..engine import PartitionedDataset
-from ..glm import LocalStats, Objective, gd_step, sample_batch, sgd_epoch
+from ..glm import Objective
 from ..core.config import TrainerConfig
 from ..core.trainer import DistributedTrainer
+from ..core.worker import petuum_batch_task
 from .consistency import SSP, Controller
 from .engine import PsEngine, push_wire_values
 from .server import ParameterServer
@@ -79,20 +80,6 @@ class PetuumTrainer(DistributedTrainer):
         return self._engine.trace
 
     # ------------------------------------------------------------------
-    def _local_batch_work(self, w: np.ndarray, part, lr: float,
-                          rng: np.random.Generator,
-                          ) -> tuple[np.ndarray, LocalStats]:
-        """One worker's computation for one batch (= one step)."""
-        batch = self._batch_size(part.n_rows)
-        Xb, yb = sample_batch(part.X, part.y, batch, rng)
-        if self.objective.is_regularized:
-            # One GD update over the batch (dense updates kept rare).
-            return gd_step(self.objective, w, Xb, yb, lr)
-        # Parallel SGD inside the batch: many updates per step.
-        return sgd_epoch(self.objective, w, Xb, yb, lr, rng,
-                         chunk_size=self.config.local_chunk_size,
-                         lazy=self.config.lazy_l2)
-
     def _combine(self, w: np.ndarray,
                  locals_: list[np.ndarray]) -> np.ndarray:
         """Model summation via the server: every worker pushes its delta."""
@@ -106,11 +93,17 @@ class PetuumTrainer(DistributedTrainer):
         engine = self._engine
         assert engine is not None
         lr = self.schedule.at(step)
+        # Per-batch local work fans out across the execution backend; the
+        # server pushes below stay in the parent, in worker order.
+        results = self._backend.map_partitions(
+            petuum_batch_task,
+            [(w, self.objective, lr, self._batch_size(part.n_rows),
+              self.config, self._rngs[i])
+             for i, part in enumerate(data.partitions)])
         locals_: list[np.ndarray] = []
         durations: list[float] = []
-        for i, part in enumerate(data.partitions):
-            local_w, stats = self._local_batch_work(w, part, lr,
-                                                    self._rngs[i])
+        for i, (local_w, stats, rng) in enumerate(results):
+            self._rngs[i] = rng
             locals_.append(local_w)
             durations.append(self._compute_seconds(
                 stats.nnz_processed, stats.dense_ops, i))

@@ -167,6 +167,53 @@ def test_det002_noqa_suppresses(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# DET001/PURE001 perf exemption: repro/perf/ is the one place allowed to
+# read the wall clock (it measures the simulation, never the simulated
+# cluster) — by rule scope, not by noqa comments.
+# ----------------------------------------------------------------------
+PERF_TIMER = """\
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+"""
+
+
+def test_det001_allows_wall_clock_under_perf(tmp_path):
+    result = lint(tmp_path, "perf/profiler.py", PERF_TIMER)
+    assert result.violations == []
+
+
+def test_det001_still_flags_rng_under_perf(tmp_path):
+    # Only the wall-clock/date names are exempt; unseeded RNG in a perf
+    # module is as nondeterministic as anywhere else.
+    src = ("import numpy as np\n"
+           "import time\n"
+           "start = time.time()\n"
+           "rng = np.random.default_rng()\n")
+    result = lint(tmp_path, "perf/harness.py", src)
+    det = [v for v in result.violations if v.rule == "DET001"]
+    assert len(det) == 1
+    assert det[0].line == 4
+
+
+def test_det001_flags_wall_clock_outside_perf(tmp_path):
+    result = lint(tmp_path, "cluster/cost.py", PERF_TIMER)
+    det = [v for v in result.violations if v.rule == "DET001"]
+    assert len(det) == 2
+
+
+def test_det002_applies_to_backend_and_worker(tmp_path):
+    assert "DET002" in rules_hit(
+        lint(tmp_path, "engine/backend.py", DET002_BAD))
+    assert "DET002" in rules_hit(
+        lint(tmp_path, "core/worker.py", DET002_BAD))
+
+
+# ----------------------------------------------------------------------
 # PURE001: cost-model pricing functions must not mutate state
 # ----------------------------------------------------------------------
 PURE001_BAD = """\
@@ -219,6 +266,13 @@ def test_pure001_ignores_non_pricing_methods(tmp_path):
            "        self.now += dt\n")
     result = lint(tmp_path, "engine.py", src)
     assert result.violations == []
+
+
+def test_pure001_skips_perf_paths(tmp_path):
+    # The profiler's accumulating phase timers look like impure "seconds"
+    # methods; PURE001 polices cost models, not measurement.
+    result = lint(tmp_path, "perf/profiler.py", PURE001_BAD)
+    assert "PURE001" not in rules_hit(result)
 
 
 def test_pure001_noqa_suppresses(tmp_path):

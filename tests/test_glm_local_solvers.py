@@ -45,6 +45,13 @@ class TestSampleBatch:
         with pytest.raises(ValueError):
             sample_batch(X, y, 0, rng)
 
+    def test_empty_partition_is_a_clear_error(self, data, rng):
+        # An empty partition used to die inside rng.choice with an
+        # inscrutable message; it must name the actual problem.
+        X, y = data
+        with pytest.raises(ValueError, match="partition is empty"):
+            sample_batch(X[:0], y[:0], 4, rng)
+
 
 class TestApplyUpdate:
     def test_plain_gd(self):
