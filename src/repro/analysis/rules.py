@@ -238,11 +238,16 @@ class UnorderedIteration(Rule):
 
     Scope: the collectives package (including the sparse wire format in
     ``collectives/sparse.py``, where iterating a *set* of coordinate
-    indices would scramble payload order), the parameter-server package,
-    the engine's aggregation/driver cost path (which now also carries
-    per-message wire accounting), and the execution-backend fan-out path
-    (``engine/backend.py`` + ``core/worker.py``, where result order is
-    what keeps parallel backends bit-identical to serial).
+    indices would scramble payload order, and the topology collectives in
+    ``collectives/hierarchical.py`` / ``collectives/innetwork.py``, where
+    group traversal order is message order), the parameter-server
+    package, the engine's aggregation/driver cost path (which now also
+    carries per-message wire accounting), the execution-backend fan-out
+    path (``engine/backend.py`` + ``core/worker.py``, where result order
+    is what keeps parallel backends bit-identical to serial), and the
+    cluster placement/network layer (``cluster/cluster.py`` +
+    ``cluster/network.py``, where executor-group order fixes the two-tier
+    message schedule).
     """
 
     id = "DET002"
@@ -254,7 +259,8 @@ class UnorderedIteration(Rule):
         parts = path.parts
         return ("collectives" in parts or "ps" in parts
                 or path.name in ("aggregation.py", "driver.py",
-                                 "backend.py", "worker.py"))
+                                 "backend.py", "worker.py",
+                                 "cluster.py", "network.py"))
 
     def check(self, src: "SourceFile") -> Iterator[Violation]:
         for node in ast.walk(src.tree):

@@ -122,6 +122,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "SparCML break-even point (nnz < m/2), 'on' "
                             "forces sparse encoding; numerics are "
                             "bit-identical across modes")
+        p.add_argument("--collective", default="flat",
+                       choices=["flat", "hier", "switch"],
+                       help="aggregation topology: 'flat' is the paper's "
+                            "shuffle AllReduce / treeAggregate, 'hier' "
+                            "adds an intra-node combine tier over the "
+                            "cluster placement map, 'switch' aggregates "
+                            "in-network at line rate with a bounded slot "
+                            "pool; a pricing choice only — iterates are "
+                            "bit-identical across topologies")
+        p.add_argument("--switch-slots", type=int, default=512,
+                       help="switch collective: register-pool slots "
+                            "(vectors needing more chunks stream in "
+                            "extra stall rounds)")
+        p.add_argument("--switch-chunk", type=int, default=256,
+                       help="switch collective: values per in-flight "
+                            "chunk")
         p.add_argument("--backend", default="serial",
                        choices=["serial", "threads", "processes"],
                        help="execution backend for the per-worker local "
@@ -313,6 +329,9 @@ def _make_config(args, **overrides) -> TrainerConfig:
                 sanitize=getattr(args, "sanitize", False),
                 sparse_comm=getattr(args, "sparse_comm", "off"),
                 backend=getattr(args, "backend", "serial"),
+                collective=getattr(args, "collective", "flat"),
+                switch_slots=getattr(args, "switch_slots", 512),
+                switch_chunk=getattr(args, "switch_chunk", 256),
                 eval_every=args.eval_every, seed=args.seed,
                 failure_rate=getattr(args, "failure_rate", 0.0),
                 failure_schedule=getattr(args, "failure_schedule", None),
@@ -364,8 +383,14 @@ def cmd_train(args) -> int:
         print(f"recovered from {len(result.failures)} injected "
               f"failure(s); {result.recovery_seconds:.3f} simulated "
               "seconds of recovery downtime")
-    if getattr(args, "sparse_comm", "off") != "off" and result.comm:
-        print(f"sparse communication ({args.sparse_comm}):")
+    if result.comm and (getattr(args, "sparse_comm", "off") != "off"
+                        or getattr(args, "collective", "flat") != "flat"):
+        parts = []
+        if getattr(args, "sparse_comm", "off") != "off":
+            parts.append(f"sparse {args.sparse_comm}")
+        if getattr(args, "collective", "flat") != "flat":
+            parts.append(f"collective {args.collective}")
+        print(f"communication ({', '.join(parts)}):")
         print(comm_report(result).describe())
     acc = result.model.accuracy(dataset.X, dataset.y)
     print(f"final objective {result.final_objective:.4f}, "

@@ -19,11 +19,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .cost import ComputeCostModel
-from .network import GIGABIT, TEN_GIGABIT, NetworkModel
+from .network import (GIGABIT, TEN_GIGABIT, NetworkModel,
+                      TieredNetworkModel)
 from .node import (LogNormalStragglers, NodeSpec, NoStragglers,
                    StragglerModel, heterogeneous_nodes, homogeneous_nodes)
 
-__all__ = ["ClusterSpec", "cluster1", "cluster2"]
+__all__ = ["ClusterSpec", "cluster1", "cluster2", "tiered_cluster"]
 
 
 @dataclass
@@ -40,6 +41,11 @@ class ClusterSpec:
     compute: ComputeCostModel = field(default_factory=ComputeCostModel)
     stragglers: StragglerModel = field(default_factory=NoStragglers)
     seed: int = 0
+    #: Machine placement map for hierarchical collectives:
+    #: ``placement[i]`` is the machine id hosting executor ``i``.  ``None``
+    #: (the default) means one executor per machine — the flat topology,
+    #: under which the hierarchical collective degenerates to the flat one.
+    placement: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -47,6 +53,22 @@ class ClusterSpec:
         ids = [n.node_id for n in self.nodes]
         if len(set(ids)) != len(ids):
             raise ValueError("node ids must be unique")
+        if self.placement is not None:
+            self.placement = tuple(int(mid) for mid in self.placement)
+            if len(self.placement) != self.num_executors:
+                raise ValueError(
+                    f"placement maps {len(self.placement)} executors, "
+                    f"cluster has {self.num_executors}")
+            if any(mid < 0 for mid in self.placement):
+                raise ValueError("machine ids must be non-negative")
+            machines = max(self.placement) + 1
+            hosted = [False] * machines
+            for mid in self.placement:
+                hosted[mid] = True
+            if not all(hosted):
+                raise ValueError(
+                    "machine ids must be contiguous: every id in "
+                    f"[0, {machines}) must host at least one executor")
         self._rng = np.random.default_rng(self.seed)
 
     # ------------------------------------------------------------------
@@ -61,6 +83,25 @@ class ClusterSpec:
     @property
     def num_executors(self) -> int:
         return max(0, len(self.nodes) - 1)
+
+    def executor_groups(self) -> tuple[tuple[int, ...], ...]:
+        """Executors grouped by hosting machine, for two-tier collectives.
+
+        Returns one tuple of executor indices per machine, members in
+        ascending index order and groups in ascending machine-id order —
+        a deterministic traversal order (rule DET002: group membership is
+        a reduction order, never hash order).  With no placement map every
+        executor is its own machine: singleton groups, the degenerate
+        topology under which hierarchical pricing equals flat pricing.
+        """
+        k = self.num_executors
+        if self.placement is None:
+            return tuple((i,) for i in range(k))
+        machines = max(self.placement) + 1
+        members: list[list[int]] = [[] for _ in range(machines)]
+        for executor, machine in enumerate(self.placement):
+            members[machine].append(executor)
+        return tuple(tuple(group) for group in members)
 
     def slowdown(self, node: NodeSpec, step: int) -> float:
         """Sample the transient slowdown for ``node`` at superstep ``step``."""
@@ -106,4 +147,34 @@ def cluster2(machines: int = 32, speed_sigma: float = 0.25,
         compute=compute if compute is not None else ComputeCostModel(),
         stragglers=LogNormalStragglers(sigma=straggler_sigma),
         seed=seed,
+    )
+
+
+def tiered_cluster(machines: int = 2, executors_per_machine: int = 4,
+                   stragglers: StragglerModel | None = None, seed: int = 0,
+                   compute: ComputeCostModel | None = None,
+                   network: TieredNetworkModel | None = None) -> ClusterSpec:
+    """Cluster 1's hardware re-racked into multi-executor machines.
+
+    ``machines * executors_per_machine`` executors (plus a driver) on
+    Cluster 1-class nodes, with a :class:`TieredNetworkModel` (1 Gbps
+    cross-node fabric, ~100 Gbps shared-memory intra tier) and a block
+    placement map: executor ``i`` lives on machine
+    ``i // executors_per_machine``.  The topology the hierarchical
+    collective exploits — and the one ``bench_ext_topology`` sweeps.
+    """
+    if machines < 1:
+        raise ValueError("need at least one machine")
+    if executors_per_machine < 1:
+        raise ValueError("need at least one executor per machine")
+    k = machines * executors_per_machine
+    nodes = homogeneous_nodes(k + 1, speed=1.0, cores=16, memory_gb=24.0)
+    return ClusterSpec(
+        nodes=nodes,
+        network=network if network is not None
+        else TieredNetworkModel(bandwidth=GIGABIT, alpha=1.0e-3),
+        compute=compute if compute is not None else ComputeCostModel(),
+        stragglers=stragglers if stragglers is not None else NoStragglers(),
+        seed=seed,
+        placement=tuple(i // executors_per_machine for i in range(k)),
     )

@@ -24,13 +24,22 @@ Two details matter for reproducing the paper's bottleneck analysis:
   cost over nodes, not the sum — this is why removing the driver from the
   data path shortens latency even though total traffic is unchanged
   (Section IV-B2's ``2 k m`` invariant).
+
+:class:`TieredNetworkModel` adds the second rung of the aggregation
+ladder (Snap ML's hierarchical scheme): executors co-located on one
+machine talk over a shared-memory/NVLink-class *intra-node* tier that is
+far faster than the cross-node fabric, so a two-tier collective can
+combine locally first and put only one message per machine on the slow
+tier.  The intra tier is priced by :meth:`intra_transfer_seconds`
+(the base :class:`NetworkModel` degenerates it to the single cross-node
+tier, so flat clusters are unchanged).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["NetworkModel", "GIGABIT", "TEN_GIGABIT"]
+__all__ = ["NetworkModel", "TieredNetworkModel", "GIGABIT", "TEN_GIGABIT"]
 
 GIGABIT = 1.0e9 / 8.0  # bytes/second on a 1 Gbps link
 TEN_GIGABIT = 1.0e10 / 8.0  # bytes/second on a 10 Gbps link
@@ -95,7 +104,17 @@ class NetworkModel:
         each message is priced individually — the shape sparse payloads
         produce, where every sender ships its own support.  Equal-sized
         messages reduce to ``fan_in_seconds(len(values), size)`` exactly.
+
+        An *empty* message list is rejected: a fan-in with no senders is
+        a caller bug (a singleton aggregation group or a one-executor
+        shuffle has no ingress and must not price one), and silently
+        returning 0.0 used to mask exactly that confusion.
         """
+        if len(values_by_message) == 0:
+            raise ValueError(
+                "fan_in_varied_seconds needs at least one message; a "
+                "fan-in with no senders is not a fan-in — handle the "
+                "zero-sender case at the call site")
         total = 0.0
         for values in values_by_message:
             total += self.transfer_seconds(values)
@@ -117,3 +136,61 @@ class NetworkModel:
         pays, i.e. a single transfer.  Used for shuffle-based collectives.
         """
         return self.transfer_seconds(values_per_node)
+
+    # ------------------------------------------------------------------
+    # intra-node tier (degenerate in the flat model)
+    # ------------------------------------------------------------------
+    def intra_transfer_seconds(self, values: float) -> float:
+        """Cost of one message between executors on the *same* machine.
+
+        The flat model has no second tier: intra-node transfers cost the
+        same as cross-node ones, so a hierarchical collective run on a
+        flat cluster prices identically to the flat collective.
+        :class:`TieredNetworkModel` overrides this with the fast tier.
+        """
+        return self.transfer_seconds(values)
+
+
+@dataclass(frozen=True)
+class TieredNetworkModel(NetworkModel):
+    """Two-tier network: fast intra-node links under the cross-node fabric.
+
+    Models the placement-aware topology of Snap ML's hierarchical scheme
+    (and of any rack with multi-executor machines): executors sharing a
+    machine exchange data over shared memory / a local bus at
+    ``intra_bandwidth`` with per-message latency ``intra_alpha``, while
+    messages between machines pay the inherited cross-node ``bandwidth``
+    and ``alpha``.
+
+    The intra tier must be at least as fast as the cross tier
+    (``intra_bandwidth >= bandwidth``) — a "shared-memory" tier slower
+    than the network would silently invert every two-tier cost comparison.
+    """
+
+    #: Intra-node link bandwidth in bytes/second (default ~100 Gbps, a
+    #: conservative shared-memory/NVLink-class figure).
+    intra_bandwidth: float = 1.25e10
+    #: Intra-node per-message latency in seconds.
+    intra_alpha: float = 5.0e-6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.intra_bandwidth <= 0:
+            raise ValueError("intra_bandwidth must be positive")
+        if self.intra_bandwidth < self.bandwidth:
+            raise ValueError(
+                f"intra-node bandwidth ({self.intra_bandwidth:g} B/s) must "
+                f"be at least the cross-node bandwidth "
+                f"({self.bandwidth:g} B/s): a shared-memory tier slower "
+                "than the network fabric is not a tier")
+        if self.intra_alpha < 0:
+            raise ValueError("intra_alpha must be non-negative")
+
+    def intra_transfer_seconds(self, values: float) -> float:
+        """Cost of one same-machine message over the fast tier."""
+        if values < 0:
+            raise ValueError("cannot transfer a negative number of values")
+        if values == 0:
+            return 0.0
+        return (self.intra_alpha
+                + values * self.bytes_per_value / self.intra_bandwidth)

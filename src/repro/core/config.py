@@ -100,6 +100,21 @@ class TrainerConfig:
         backend produces bit-identical iterates, histories and simulated
         seconds (fixed per-worker RNG streams, fixed combine order).  See
         :mod:`repro.engine.backend` and ``docs/performance.md``.
+    collective:
+        Aggregation topology: ``flat`` (the paper's shuffle AllReduce /
+        treeAggregate — the default, bit-identical to the seed pricing),
+        ``hier`` (two-tier intra-node combine + cross-node exchange over
+        ``ClusterSpec.placement``) or ``switch`` (SwitchML-style
+        in-network aggregation with a bounded slot pool).  A *pricing*
+        knob only: every topology runs the same flat combine kernels, so
+        iterates are bit-identical across all three.  See
+        ``docs/communication.md``.
+    switch_slots:
+        ``switch`` only: aggregation slots in the switch register pool.
+        Vectors needing more chunks than slots stream in multiple
+        rounds, paying one extra latency per stall.
+    switch_chunk:
+        ``switch`` only: values per in-flight chunk in the switch pool.
     """
 
     learning_rate: float = 0.1
@@ -123,6 +138,9 @@ class TrainerConfig:
     sanitize: bool = False
     sparse_comm: str = "off"
     backend: str = "serial"
+    collective: str = "flat"
+    switch_slots: int = 512
+    switch_chunk: int = 256
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -157,6 +175,13 @@ class TrainerConfig:
         if self.backend not in ("serial", "threads", "processes"):
             raise ValueError("backend must be 'serial', 'threads' or "
                              "'processes'")
+        if self.collective not in ("flat", "hier", "switch"):
+            raise ValueError("collective must be 'flat', 'hier' or "
+                             "'switch'")
+        if self.switch_slots < 1:
+            raise ValueError("switch_slots must be at least 1")
+        if self.switch_chunk < 1:
+            raise ValueError("switch_chunk must be at least 1")
 
     def with_overrides(self, **kwargs) -> "TrainerConfig":
         """Return a copy with the given fields replaced."""

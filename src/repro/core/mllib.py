@@ -21,7 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
-from ..collectives import tree_fan_in_wire
+from ..collectives import (hier_tree_fan_in, switch_tree_fan_in,
+                           tree_fan_in_wire)
 from ..engine import (BroadcastModel, BspEngine, PartitionedDataset,
                       TreeAggregateModel)
 from ..glm import Objective, apply_update
@@ -107,7 +108,17 @@ class MLlibTrainer(DistributedTrainer):
         # support (the batch's column support, far smaller than m).
         mode = self.config.sparse_comm
         wire = None
-        if mode != "off":
+        if self.config.collective == "hier":
+            wire = hier_tree_fan_in(task_grads_by_executor,
+                                    self.cluster.executor_groups(), m,
+                                    mode)
+        elif self.config.collective == "switch":
+            wire = switch_tree_fan_in(
+                task_grads_by_executor,
+                engine.tree.plan(data.num_partitions), m, mode,
+                pool_slots=self.config.switch_slots,
+                chunk_values=self.config.switch_chunk)
+        elif mode != "off":
             wire = tree_fan_in_wire(
                 task_grads_by_executor,
                 engine.tree.plan(data.num_partitions), m, mode)

@@ -15,7 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
-from ..collectives import tree_fan_in_wire
+from ..collectives import (hier_tree_fan_in, switch_tree_fan_in,
+                           tree_fan_in_wire)
 from ..engine import (BroadcastModel, BspEngine, PartitionedDataset,
                       TreeAggregateModel)
 from ..glm import Objective
@@ -88,7 +89,17 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
         # touched — the partition's column support at most).
         mode = self.config.sparse_comm
         wire = None
-        if mode != "off":
+        if self.config.collective == "hier":
+            wire = hier_tree_fan_in([[local] for local in locals_],
+                                    self.cluster.executor_groups(), m,
+                                    mode)
+        elif self.config.collective == "switch":
+            wire = switch_tree_fan_in(
+                [[local] for local in locals_],
+                engine.tree.plan(data.num_partitions), m, mode,
+                pool_slots=self.config.switch_slots,
+                chunk_values=self.config.switch_chunk)
+        elif mode != "off":
             wire = tree_fan_in_wire(
                 [[local] for local in locals_],
                 engine.tree.plan(data.num_partitions), m, mode)

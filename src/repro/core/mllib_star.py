@@ -21,7 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
-from ..collectives import sparse_all_gather, sparse_reduce_scatter
+from ..collectives import (hier_all_gather, hier_reduce_scatter,
+                           sparse_all_gather, sparse_reduce_scatter,
+                           switch_all_gather, switch_reduce_scatter)
 from ..engine import BspEngine, PartitionedDataset
 from ..glm import Objective
 from .config import TrainerConfig
@@ -104,10 +106,43 @@ class MLlibStarTrainer(DistributedTrainer):
         # The sparse wire format changes what the messages cost, never
         # what they say: payloads are materialized before combining, so
         # iterates are bit-identical across all --sparse-comm modes.
+        # --collective picks the aggregation topology (flat shuffle,
+        # two-tier hier, or in-network switch); every topology calls the
+        # same flat combine kernels underneath, so iterates are
+        # bit-identical across --collective values too.
         mode = self.config.sparse_comm
+        collective = self.config.collective
         weights = None
         if self.combine == "weighted":
             weights = [float(p.n_rows) for p in data.partitions]
+        if collective == "hier":
+            groups = self.cluster.executor_groups()
+            partitions, rs_wire = hier_reduce_scatter(
+                locals_, groups, combine=self.combine, weights=weights,
+                mode=mode)
+            engine.reduce_scatter_phase(m, step, redo_seconds=durations,
+                                        wire=rs_wire)
+            new_w, ag_wire = hier_all_gather(
+                partitions, m, groups, mode=mode,
+                check_replicas=self.sanitizer.enabled)
+            engine.all_gather_phase(m, step, redo_seconds=durations,
+                                    wire=ag_wire)
+            return new_w
+        if collective == "switch":
+            partitions, rs_wire = switch_reduce_scatter(
+                locals_, combine=self.combine, weights=weights,
+                mode=mode, pool_slots=self.config.switch_slots,
+                chunk_values=self.config.switch_chunk)
+            engine.reduce_scatter_phase(m, step, redo_seconds=durations,
+                                        wire=rs_wire)
+            new_w, ag_wire = switch_all_gather(
+                partitions, m, mode=mode,
+                pool_slots=self.config.switch_slots,
+                chunk_values=self.config.switch_chunk,
+                check_replicas=self.sanitizer.enabled)
+            engine.all_gather_phase(m, step, redo_seconds=durations,
+                                    wire=ag_wire)
+            return new_w
         partitions, rs_stats = sparse_reduce_scatter(
             locals_, combine=self.combine, weights=weights, mode=mode)
         engine.reduce_scatter_phase(

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec, Trace
+from ..collectives import hier_dense_wire, switch_dense_wire
 from ..engine import BspEngine, PartitionedDataset
 from ..glm import Objective
 from ..glm.lbfgs import LbfgsState, wolfe_line_search
@@ -113,7 +114,27 @@ class SparkMlTrainer(DistributedTrainer):
         if candidate_shipped:
             engine.broadcast_phase(m, step)
         engine.compute_phase(durations, step)
-        engine.tree_aggregate_phase(m, step, redo_seconds=durations)
+        engine.tree_aggregate_phase(m, step, redo_seconds=durations,
+                                    wire=self._topology_wire(
+                                        "tree_aggregate", m))
+
+    def _topology_wire(self, phase: str, m: int):
+        """Non-flat collective pricing for the dense L-BFGS messages.
+
+        spark.ml ships dense gradients, so hier/switch wires carry every
+        message at its dense size; under the default ``flat`` collective
+        this returns ``None`` and pricing is bit-identical to the seed.
+        """
+        collective = self.config.collective
+        if collective == "hier":
+            return hier_dense_wire(phase, m,
+                                   self.cluster.executor_groups())
+        if collective == "switch":
+            return switch_dense_wire(
+                phase, m, self.cluster.num_executors,
+                pool_slots=self.config.switch_slots,
+                chunk_values=self.config.switch_chunk)
+        return None
 
     def _charge_direction(self, m: int, step: int) -> None:
         """The two-loop recursion over the curvature history."""
@@ -199,8 +220,11 @@ class SparkMlStarTrainer(SparkMlTrainer):
         assert engine is not None
         # No model broadcast: every executor builds the candidate locally.
         engine.compute_phase(durations, step)
-        engine.reduce_scatter_phase(m, step, redo_seconds=durations)
-        engine.all_gather_phase(m, step, redo_seconds=durations)
+        engine.reduce_scatter_phase(m, step, redo_seconds=durations,
+                                    wire=self._topology_wire(
+                                        "reduce_scatter", m))
+        engine.all_gather_phase(m, step, redo_seconds=durations,
+                                wire=self._topology_wire("all_gather", m))
 
     def _charge_direction(self, m: int, step: int) -> None:
         engine = self._engine

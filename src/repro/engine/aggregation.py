@@ -148,10 +148,13 @@ class TreeAggregateModel:
             if wire is None:
                 ingress = net.fan_in_seconds((size - 1) * mpe, model_size)
             else:
-                ingress = net.fan_in_varied_seconds(
-                    [v for e in range(k)
-                     if e % a == agg_index and e != agg_index
-                     for v in wire.leaf_values[e]])
+                # A singleton group (every member is the aggregator, e.g.
+                # k == 1) has no ingress to price at all.
+                sizes = [v for e in range(k)
+                         if e % a == agg_index and e != agg_index
+                         for v in wire.leaf_values[e]]
+                ingress = (net.fan_in_varied_seconds(sizes) if sizes
+                           else 0.0)
             seconds = (ingress
                        + compute.dense_op_seconds(size * mpe * model_size,
                                                   node))

@@ -55,6 +55,8 @@ from .broadcast import BroadcastModel
 from .shuffle import ShuffleModel
 
 if TYPE_CHECKING:  # avoid a runtime engine -> collectives import cycle
+    from ..collectives.hierarchical import HierWire
+    from ..collectives.innetwork import SwitchWire
     from ..collectives.sparse import CommStats, TreeWire
 
 __all__ = ["BspEngine", "CommRecord", "DRIVER_LABEL", "executor_label"]
@@ -278,7 +280,8 @@ class BspEngine:
     def tree_aggregate_phase(self, model_size: int, step: int,
                              messages_per_executor: int = 1,
                              redo_seconds: list[float] | None = None,
-                             wire: "TreeWire | None" = None) -> float:
+                             wire: "TreeWire | HierWire | SwitchWire | None"
+                             = None) -> float:
         """Hierarchical aggregation of size-``m`` vectors to the driver.
 
         ``messages_per_executor`` > 1 models multiple waves of tasks per
@@ -293,7 +296,28 @@ class BspEngine:
         ``model_size``.  Fault-recovery resends stay dense-priced (the
         recovered state is re-shipped conservatively).  With ``wire=None``
         timing is bit-identical to the dense engine.
+
+        A :class:`~repro.collectives.hierarchical.HierWire` or
+        :class:`~repro.collectives.innetwork.SwitchWire` replaces the
+        whole schedule with the two-tier / in-network topology; a switch
+        wire whose sparse fallback fired prices as the host sparse tree.
+        The aggregated values are the same in every case — topology is a
+        pricing choice (``docs/communication.md``).
         """
+        # Runtime imports keep the module-load graph acyclic
+        # (collectives -> engine.shuffle).
+        from ..collectives.hierarchical import HierWire
+        from ..collectives.innetwork import SwitchWire
+        if isinstance(wire, SwitchWire):
+            if wire.fallback is None:
+                return self._switch_tree_aggregate(
+                    model_size, step, messages_per_executor, redo_seconds,
+                    wire)
+            wire = wire.fallback
+        if isinstance(wire, HierWire):
+            return self._hier_tree_aggregate(
+                model_size, step, messages_per_executor, redo_seconds,
+                wire)
         timing = self.tree.timing(self.cluster, model_size,
                                   messages_per_executor, wire=wire)
         net_slow = self._net_slowdown(step)
@@ -365,6 +389,174 @@ class BspEngine:
         self.now = driver_end
         return driver_end - start
 
+    def _hier_tree_aggregate(self, model_size: int, step: int,
+                             messages_per_executor: int,
+                             redo_seconds: list[float] | None,
+                             wire: "HierWire") -> float:
+        """Two-tier treeAggregate: machine leaders replace MLlib's
+        round-robin aggregators.
+
+        Members ship their task vectors to their machine's leader over
+        the *intra* tier; each leader combines its group's vectors and
+        ships one partial to the driver over the cross-node fabric.
+        Mirrors :meth:`tree_aggregate_phase` barrier/fault semantics.
+        """
+        k = self.num_executors
+        if wire.num_executors != k:
+            raise ValueError(f"wire carries {wire.num_executors} "
+                             f"executors, cluster has {k}")
+        if wire.messages_per_executor != messages_per_executor:
+            raise ValueError("wire must carry messages_per_executor "
+                             "sizes per executor")
+        mpe = messages_per_executor
+        net = self.cluster.network
+        compute = self.cluster.compute
+        net_slow = self._net_slowdown(step)
+        start = self.now
+        n = len(wire.groups)
+        leaders = wire.leaders
+
+        # Level 1: every leader drains its members over the intra tier
+        # (serialized ingress) and folds the group's vectors; leaders run
+        # concurrently, as in the flat treeAggregate.
+        level1 = 0.0
+        level1_ingress = 0.0
+        for group in wire.groups:
+            node = self.cluster.executors[group[0]]
+            ingress = sum(net.intra_transfer_seconds(v)
+                          for e in group[1:]
+                          for v in wire.intra_sends[e])
+            seconds = ingress + compute.dense_op_seconds(
+                len(group) * mpe * model_size, node)
+            level1 = max(level1, seconds)
+            level1_ingress = max(level1_ingress, ingress)
+        # Level 2: the driver receives one partial per machine.
+        partials = [v for i in leaders for v in wire.cross_sends[i]]
+        driver_ingress = net.fan_in_varied_seconds(partials)
+        driver_seconds = (driver_ingress
+                          + compute.dense_op_seconds(n * model_size,
+                                                     self.cluster.driver))
+
+        level1_end = start + level1 * net_slow
+        is_leader = [False] * k
+        for i in leaders:
+            is_leader[i] = True
+        delay = 0.0
+        finish_times: list[float] = []
+        for i in range(k):
+            label = executor_label(i)
+            if is_leader[i]:
+                segments: _Segments = [(level1_end - start, "aggregate")]
+                values = 0.0
+            else:
+                send = (sum(net.intra_transfer_seconds(v)
+                            for v in wire.intra_sends[i]) * net_slow)
+                segments = [(send, "send")]
+                values = float(sum(wire.intra_sends[i]))
+            if self.faults.enabled:
+                redo = ([] if redo_seconds is None
+                        else [(redo_seconds[i], "compute")])
+                end = self._attempt_run(i, start, segments,
+                                        redo + segments, step, "aggregate")
+                delay = max(delay, end - (start + segments[0][0]))
+            else:
+                end = start + segments[0][0]
+                if segments[0][0] > 0:
+                    self.trace.add(label, start, end, segments[0][1],
+                                   step, values=values)
+            finish_times.append(end)
+            if not is_leader[i]:
+                self._wait_fill(label, end, level1_end, step)
+
+        driver_start = level1_end + delay
+        driver_end = driver_start + driver_seconds * net_slow
+        self.trace.add(DRIVER_LABEL, driver_start, driver_end,
+                       "aggregate", step)
+        for i in range(k):
+            busy_until = (max(level1_end, finish_times[i])
+                          if self.faults.enabled else level1_end)
+            self._wait_fill(executor_label(i), busy_until, driver_end,
+                            step)
+        dense_ingress = self.tree.timing(self.cluster, model_size,
+                                         mpe).ingress_seconds
+        self.comm_records.append(CommRecord(
+            step=step, phase="tree_aggregate",
+            dense_values=wire.dense_values, wire_values=wire.wire_values,
+            seconds=(level1_ingress + driver_ingress) * net_slow,
+            dense_seconds=dense_ingress * net_slow))
+        self.now = driver_end
+        return driver_end - start
+
+    def _switch_tree_aggregate(self, model_size: int, step: int,
+                               messages_per_executor: int,
+                               redo_seconds: list[float] | None,
+                               wire: "SwitchWire") -> float:
+        """In-network treeAggregate: every task vector streams through
+        the switch concurrently; the driver receives one result.
+
+        Slot exhaustion (more chunks in flight than ``pool_slots``)
+        stalls the streams for one extra latency per round — stretching
+        seconds without touching any aggregated value.
+        """
+        from ..collectives.innetwork import switch_stream_seconds
+        k = self.num_executors
+        if wire.num_senders != k:
+            raise ValueError(f"wire carries {wire.num_senders} senders, "
+                             f"cluster has {k}")
+        if wire.messages_per_executor != messages_per_executor:
+            raise ValueError("wire must carry messages_per_executor "
+                             "messages per executor")
+        net = self.cluster.network
+        compute = self.cluster.compute
+        net_slow = self._net_slowdown(step)
+        start = self.now
+        stream_raw = switch_stream_seconds(net, wire.values_per_link,
+                                           wire.chunk_values,
+                                           wire.pool_slots)
+        stream = stream_raw * net_slow
+        delay = 0.0
+        finish_times: list[float] = []
+        for i in range(k):
+            label = executor_label(i)
+            segments: _Segments = [(stream, "send")]
+            if self.faults.enabled:
+                redo = ([] if redo_seconds is None
+                        else [(redo_seconds[i], "compute")])
+                end = self._attempt_run(i, start, segments,
+                                        redo + segments, step, "aggregate")
+                delay = max(delay, end - (start + stream))
+            else:
+                end = start + stream
+                if stream > 0:
+                    self.trace.add(label, start, end, "send", step,
+                                   values=wire.values_per_link)
+            finish_times.append(end)
+
+        stream_end = start + stream
+        driver_ingress = net.transfer_seconds(model_size)
+        driver_seconds = (driver_ingress
+                          + compute.dense_op_seconds(model_size,
+                                                     self.cluster.driver))
+        driver_start = stream_end + delay
+        driver_end = driver_start + driver_seconds * net_slow
+        self.trace.add(DRIVER_LABEL, driver_start, driver_end,
+                       "aggregate", step)
+        for i in range(k):
+            busy_until = (max(stream_end, finish_times[i])
+                          if self.faults.enabled else stream_end)
+            self._wait_fill(executor_label(i), busy_until, driver_end,
+                            step)
+        dense_ingress = self.tree.timing(self.cluster, model_size,
+                                         messages_per_executor
+                                         ).ingress_seconds
+        self.comm_records.append(CommRecord(
+            step=step, phase="tree_aggregate",
+            dense_values=wire.dense_values, wire_values=wire.wire_values,
+            seconds=(stream_raw + driver_ingress) * net_slow,
+            dense_seconds=dense_ingress * net_slow))
+        self.now = driver_end
+        return driver_end - start
+
     def driver_update_phase(self, seconds: float, step: int) -> float:
         """The driver applies an update while every executor waits."""
         if seconds < 0:
@@ -405,7 +597,8 @@ class BspEngine:
     def _all_to_all_phase(self, model_size: int, step: int, phase: str,
                           combine_coords: float,
                           redo_seconds: list[float] | None = None,
-                          wire: "CommStats | None" = None) -> float:
+                          wire: "CommStats | HierWire | SwitchWire | None"
+                          = None) -> float:
         """One shuffle round: every executor exchanges model pieces.
 
         Each executor sends ``k - 1`` messages of ``m / k`` coordinates on
@@ -425,7 +618,23 @@ class BspEngine:
         the combine is redone (the refill stays dense-priced: recovered
         state is re-shipped conservatively).  The closing barrier stalls
         every peer until the owner catches up.
+
+        A :class:`~repro.collectives.hierarchical.HierWire` or
+        :class:`~repro.collectives.innetwork.SwitchWire` reprices the
+        round under the two-tier / in-network topology instead; a switch
+        wire whose sparse fallback fired prices as the flat sparse round.
         """
+        from ..collectives.hierarchical import HierWire
+        from ..collectives.innetwork import SwitchWire
+        if isinstance(wire, SwitchWire):
+            if wire.fallback is None:
+                return self._switch_all_to_all(model_size, step, phase,
+                                               redo_seconds, wire)
+            wire = wire.fallback
+        if isinstance(wire, HierWire):
+            return self._hier_all_to_all(model_size, step, phase,
+                                         combine_coords, redo_seconds,
+                                         wire)
         k = self.num_executors
         if model_size < k:
             raise ValueError(
@@ -491,6 +700,181 @@ class BspEngine:
             wire_values=wire.wire_values if wire is not None
             else dense_values,
             seconds=max(send_list, default=0.0),
+            dense_seconds=dense_send))
+        self.now = barrier
+        return barrier - start
+
+    def _hier_all_to_all(self, model_size: int, step: int, phase: str,
+                         combine_coords: float,
+                         redo_seconds: list[float] | None,
+                         wire: "HierWire") -> float:
+        """One two-tier collective round (Reduce-Scatter or AllGather).
+
+        Reduce-Scatter: members upload their model to the machine leader
+        over the intra tier; the leader folds the group and runs the flat
+        exchange among the ``n`` leaders over node-level partitions.
+        AllGather: leaders exchange their node-slices, then fan the
+        reassembled model out to their members.  With singleton groups
+        the schedule *is* the flat exchange, message for message, so
+        priced seconds match the flat wire pricing exactly.
+
+        Fault recovery is the flat AllReduce convention, conservatively
+        dense-priced: the recovered owner redoes its local work, every
+        peer re-sends its piece, and the combine is redone.
+        """
+        k = self.num_executors
+        if wire.num_executors != k:
+            raise ValueError(f"wire carries {wire.num_executors} "
+                             f"executors, cluster has {k}")
+        if model_size < k:
+            raise ValueError(
+                f"cannot run {phase} with a model of size {model_size} "
+                f"across {k} executors: each owner needs at least one "
+                "coordinate (num_executors > model_size)")
+        piece = model_size / k
+        net = self.cluster.network
+        compute = self.cluster.compute
+        net_slow = self._net_slowdown(step)
+        dense_send = (self.shuffle.round_seconds(self.cluster, k - 1,
+                                                 piece) * net_slow)
+        start = self.now
+        n = len(wire.groups)
+        is_leader = [False] * k
+        members_of = [0] * k
+        ingress_of = [0.0] * k  # leader's member-drain cost (RS)
+        for group in wire.groups:
+            leader = group[0]
+            is_leader[leader] = True
+            members_of[leader] = len(group) - 1
+            ingress_of[leader] = sum(net.intra_transfer_seconds(v)
+                                     for e in group[1:]
+                                     for v in wire.intra_sends[e])
+        finish: list[float] = []
+        net_times: list[float] = []
+        for i in range(k):
+            label = executor_label(i)
+            node = self.cluster.executors[i]
+            intra_send = (sum(net.intra_transfer_seconds(v)
+                              for v in wire.intra_sends[i]) * net_slow)
+            segments: _Segments = []
+            if is_leader[i]:
+                cross_row = wire.cross_sends[i]
+                cross_send = (net.fan_in_varied_seconds(cross_row)
+                              * net_slow if cross_row else 0.0)
+                if phase == "reduce_scatter":
+                    # Drain the members, fold the group, then exchange
+                    # node-slices with the other leaders and fold those.
+                    intra_ingress = ingress_of[i] * net_slow
+                    if intra_ingress > 0:
+                        segments.append((intra_ingress, "recv"))
+                    intra_combine = (compute.dense_op_seconds(
+                        members_of[i] * model_size, node)
+                        if members_of[i] else 0.0)
+                    if intra_combine > 0:
+                        segments.append((intra_combine, "aggregate"))
+                    segments.append((cross_send, "send"))
+                    if combine_coords > 0:
+                        segments.append((compute.dense_op_seconds(
+                            model_size / n * n, node), "aggregate"))
+                    net_time = intra_ingress + cross_send
+                else:
+                    # Exchange node-slices, then fan the model out to
+                    # the members over the intra tier.
+                    segments.append((cross_send, "send"))
+                    if intra_send > 0:
+                        segments.append((intra_send, "send"))
+                    net_time = cross_send + intra_send
+            else:
+                if phase == "reduce_scatter":
+                    segments.append((intra_send, "send"))
+                    net_time = intra_send
+                else:
+                    net_time = 0.0  # members only receive the fan-out
+            if self.faults.enabled:
+                combine = (compute.dense_op_seconds(combine_coords, node)
+                           if combine_coords > 0 else 0.0)
+                refill = (net.fan_in_seconds(k - 1, piece) * net_slow)
+                retry: _Segments = ([] if redo_seconds is None
+                                    else [(redo_seconds[i], "compute")])
+                retry = retry + [(refill, "recv")]
+                if combine > 0:
+                    retry.append((combine, "aggregate"))
+                end = self._attempt_run(i, start, segments, retry, step,
+                                        phase)
+            else:
+                end = start
+                for seconds, kind in segments:
+                    if seconds > 0:
+                        self.trace.add(label, end, end + seconds, kind,
+                                       step)
+                    end += seconds
+            finish.append(end)
+            net_times.append(net_time)
+        barrier = max(finish, default=start)
+        for i, end in enumerate(finish):
+            self._wait_fill(executor_label(i), end, barrier, step)
+        self._wait_fill(DRIVER_LABEL, start, barrier, step)
+        self.comm_records.append(CommRecord(
+            step=step, phase=phase, dense_values=wire.dense_values,
+            wire_values=wire.wire_values,
+            seconds=max(net_times, default=0.0),
+            dense_seconds=dense_send))
+        self.now = barrier
+        return barrier - start
+
+    def _switch_all_to_all(self, model_size: int, step: int, phase: str,
+                           redo_seconds: list[float] | None,
+                           wire: "SwitchWire") -> float:
+        """One in-network collective round: all links stream at line
+        rate through the switch, which folds chunks in its slot pool.
+
+        Combine compute is absorbed by the switch (that is the point of
+        in-network aggregation); running out of pool slots adds one
+        latency per extra stall round and nothing else.  Fault recovery
+        redoes the owner's local work and re-streams through the switch.
+        """
+        from ..collectives.innetwork import switch_stream_seconds
+        k = self.num_executors
+        if wire.num_senders != k:
+            raise ValueError(f"wire carries {wire.num_senders} senders, "
+                             f"cluster has {k}")
+        if model_size < k:
+            raise ValueError(
+                f"cannot run {phase} with a model of size {model_size} "
+                f"across {k} executors: each owner needs at least one "
+                "coordinate (num_executors > model_size)")
+        piece = model_size / k
+        net = self.cluster.network
+        net_slow = self._net_slowdown(step)
+        dense_send = (self.shuffle.round_seconds(self.cluster, k - 1,
+                                                 piece) * net_slow)
+        start = self.now
+        stream = (switch_stream_seconds(net, wire.values_per_link,
+                                        wire.chunk_values,
+                                        wire.pool_slots) * net_slow)
+        kind = "send" if phase == "reduce_scatter" else "recv"
+        finish: list[float] = []
+        for i in range(k):
+            label = executor_label(i)
+            segments: _Segments = [(stream, kind)]
+            if self.faults.enabled:
+                retry: _Segments = ([] if redo_seconds is None
+                                    else [(redo_seconds[i], "compute")])
+                end = self._attempt_run(i, start, segments,
+                                        retry + segments, step, phase)
+            else:
+                end = start + stream
+                if stream > 0:
+                    self.trace.add(label, start, end, kind, step,
+                                   values=wire.values_per_link)
+            finish.append(end)
+        barrier = max(finish, default=start)
+        for i, end in enumerate(finish):
+            self._wait_fill(executor_label(i), end, barrier, step)
+        self._wait_fill(DRIVER_LABEL, start, barrier, step)
+        self.comm_records.append(CommRecord(
+            step=step, phase=phase, dense_values=wire.dense_values,
+            wire_values=wire.wire_values, seconds=stream,
             dense_seconds=dense_send))
         self.now = barrier
         return barrier - start

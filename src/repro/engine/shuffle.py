@@ -54,7 +54,10 @@ class ShuffleModel:
         sender's uplink cost is the sum of its individually priced
         transfers.  With equal sizes this equals
         ``round_seconds(cluster, len(message_values), size)`` exactly.
+        A node with nothing to send (a one-executor shuffle) costs 0.0.
         """
+        if len(message_values) == 0:
+            return 0.0
         return cluster.network.fan_in_varied_seconds(message_values)
 
 
