@@ -36,7 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Determinism linter for the repro codebase "
                     "(DET001 ambient nondeterminism, DET002 unordered "
                     "aggregation, PURE001 impure cost models, CFG001 "
-                    "unreachable config fields)")
+                    "unreachable config fields, RACE001/RACE002 backend "
+                    "task contract, NOQA001 unused suppressions); "
+                    "DET002/PURE001/RACE scope is derived from a "
+                    "project-wide call graph, not file lists")
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to lint "
                              f"(default: {DEFAULT_PATH})")
@@ -49,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule ids to skip")
     parser.add_argument("--format", choices=sorted(REPORTERS),
                         default="text", help="output format")
+    parser.add_argument("--no-unused-noqa", action="store_false",
+                        dest="unused_noqa",
+                        help="skip the NOQA001 unused-suppression audit")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -67,7 +73,8 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     try:
-        result = run_analysis(paths, select=args.select, ignore=args.ignore)
+        result = run_analysis(paths, select=args.select, ignore=args.ignore,
+                              unused_noqa=args.unused_noqa)
     except KeyError as exc:
         print(f"repro.analysis: {exc.args[0]}", file=sys.stderr)
         return 2

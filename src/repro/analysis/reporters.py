@@ -1,11 +1,14 @@
 """Render an :class:`~repro.analysis.engine.AnalysisResult` for humans/CI.
 
-Two formats:
+Three formats:
 
 * ``text`` — one ``path:line:col: RULE message`` diagnostic per line plus
   a one-line summary (what CI prints on failure);
 * ``json`` — a machine-readable document with the full violation list,
-  suppression count, and per-rule totals (for dashboards or tooling).
+  suppression count, and per-rule totals (for dashboards or tooling);
+* ``sarif`` — SARIF 2.1.0, the interchange format code-scanning UIs
+  ingest, so findings annotate the exact lines of a PR diff.  CI uploads
+  this via ``github/codeql-action/upload-sarif``.
 """
 
 from __future__ import annotations
@@ -14,8 +17,13 @@ import json
 from collections import Counter
 
 from .engine import AnalysisResult
+from .rules import rule_registry
+from .violations import PARSE_RULE_ID
 
-__all__ = ["render_text", "render_json", "REPORTERS"]
+__all__ = ["render_text", "render_json", "render_sarif", "REPORTERS"]
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
 
 
 def render_text(result: AnalysisResult) -> str:
@@ -42,4 +50,76 @@ def render_json(result: AnalysisResult) -> str:
     return json.dumps(document, indent=2, sort_keys=True)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+def _sarif_rules(result: AnalysisResult) -> list[dict]:
+    """Tool-driver rule metadata for every rule that ran (plus the parse
+    pseudo-rule if it fired)."""
+    registry = rule_registry()
+    descriptors = []
+    ids = list(result.rules_run)
+    if any(v.rule == PARSE_RULE_ID for v in result.violations):
+        ids.append(PARSE_RULE_ID)
+    for rule_id in ids:
+        rule = registry.get(rule_id)
+        summary = (rule.summary if rule is not None
+                   else "file does not parse")
+        descriptors.append({
+            "id": rule_id,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return descriptors
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """SARIF 2.1.0 — suppressed diagnostics are included with a
+    ``suppressions`` entry so scanning UIs show them as dismissed rather
+    than dropping them on the floor."""
+    results = []
+    for violation in result.violations:
+        results.append(_sarif_result(violation))
+    for violation in result.suppressed:
+        entry = _sarif_result(violation)
+        entry["suppressions"] = [{
+            "kind": "inSource",
+            "justification": "# repro: noqa",
+        }]
+        results.append(entry)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/static_analysis",
+                    "rules": _sarif_rules(result),
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _sarif_result(violation) -> dict:
+    return {
+        "ruleId": violation.rule,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": str(violation.path).replace("\\", "/"),
+                },
+                "region": {
+                    "startLine": violation.line,
+                    "startColumn": violation.col,
+                },
+            },
+        }],
+    }
+
+
+REPORTERS = {"text": render_text, "json": render_json,
+             "sarif": render_sarif}

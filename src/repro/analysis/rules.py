@@ -14,22 +14,35 @@ static checks:
   there — structurally, by rule scoping, not by ``noqa`` comments — while
   the RNG diagnostics still apply in full.
 * :class:`UnorderedIteration` (``DET002``) — no iteration over ``set`` /
-  ``frozenset`` values on the aggregation paths (``engine/aggregation``,
-  ``collectives/``, ``ps/``, the execution backend ``engine/backend.py``
-  and its worker tasks ``core/worker.py``): float addition is not
-  associative, so a hash-order dependent accumulation silently changes
-  the numerics.
+  ``frozenset`` values in code that can run inside a collective combine
+  or a backend task: float addition is not associative, so a hash-order
+  dependent accumulation silently changes the numerics.  The scope is
+  **derived from the call graph** (see :mod:`repro.analysis.callgraph`),
+  not declared as a file list: every function reachable from a combine
+  entry point (the ``collectives``/``ps`` packages) or from a task
+  function handed to an execution backend is in scope, wherever it
+  lives.
 * :class:`ImpureCostModel` (``PURE001``) — cost-model pricing methods
   (``seconds``, ``*_seconds``, ``timing``) must not mutate state; pricing
-  a phase twice must cost the same both times.  Scoped out of
-  ``repro/perf/``: its timing accessors report *measured* wall-clock
-  aggregates, not simulated prices, and accumulate by design.
+  a phase twice must cost the same both times.  The check is
+  *interprocedural*: a pricing method that calls a helper which mutates
+  state or reads ambient RNG/clock is flagged at the call site, with the
+  offending path reported (``seconds -> _helper -> list.append``).
+  Scoped out of ``repro/perf/``: its timing accessors report *measured*
+  wall-clock aggregates, not simulated prices, and accumulate by design.
 * :class:`ConfigReachability` (``CFG001``) — every ``TrainerConfig``
   field must be reachable from the CLI (or explicitly allowlisted), so
   new knobs cannot silently become dead code.
+* The ``RACE`` family (:mod:`repro.analysis.rules_race`) — backend task
+  functions must not touch shared state (``RACE001``) and must be
+  picklable module-level callables (``RACE002``).
+* :class:`UnusedSuppression` (``NOQA001``) — ``# repro: noqa[RULE]``
+  comments that suppress nothing (detected by the engine after the other
+  rules run; see :func:`repro.analysis.engine.run_analysis`).
 
-Rules are pluggable: subclass :class:`Rule` (or :class:`ProjectRule` for
-cross-file checks), give it a unique ``id``, and add it to
+Rules are pluggable: subclass :class:`Rule` (:class:`ProjectRule` for
+cross-file checks, :class:`CallGraphRule` for checks scoped by the
+project call graph), give it a unique ``id``, and add it to
 :data:`ALL_RULES`.
 """
 
@@ -39,14 +52,16 @@ import ast
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
+from .callgraph import CallGraph, FunctionInfo, local_bindings, own_body
 from .violations import Violation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .engine import SourceFile
 
-__all__ = ["Rule", "ProjectRule", "ALL_RULES", "rule_registry",
-           "AmbientNondeterminism", "UnorderedIteration",
-           "ImpureCostModel", "ConfigReachability"]
+__all__ = ["Rule", "ProjectRule", "CallGraphRule", "ALL_RULES",
+           "rule_registry", "AmbientNondeterminism", "UnorderedIteration",
+           "ImpureCostModel", "ConfigReachability", "UnusedSuppression",
+           "MUTATORS", "shared_state_findings", "ambient_findings"]
 
 
 class Rule:
@@ -85,9 +100,32 @@ class ProjectRule(Rule):
         raise NotImplementedError
 
 
+class CallGraphRule(Rule):
+    """A rule whose scope is derived from the project call graph.
+
+    The engine builds one :class:`~repro.analysis.callgraph.CallGraph`
+    per run (over every collected file) and hands it to
+    :meth:`check_graph`; per-file dispatch is skipped.
+    """
+
+    def check(self, src: "SourceFile") -> Iterator[Violation]:
+        return iter(())
+
+    def check_graph(self, graph: CallGraph) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
 # ----------------------------------------------------------------------
 # shared AST helpers
 # ----------------------------------------------------------------------
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset({
+    "append", "extend", "add", "update", "insert", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "sort", "reverse",
+    "setflags", "fill",
+})
+
+
 def _import_aliases(tree: ast.AST) -> dict[str, str]:
     """Map local names to the dotted module paths they were imported as.
 
@@ -145,6 +183,85 @@ def _attribute_root(node: ast.AST) -> str | None:
     if isinstance(node, ast.Name):
         return node.id
     return None
+
+
+# ----------------------------------------------------------------------
+# shared finding helpers (used by PURE001's interprocedural pass and the
+# RACE family in rules_race.py)
+# ----------------------------------------------------------------------
+def shared_state_findings(info: FunctionInfo,
+                          module_globals: set[str],
+                          check_self: bool = True,
+                          ) -> Iterator[tuple[ast.AST, str]]:
+    """Mutations of state that outlives one call of ``info``.
+
+    Yields ``(node, detail)`` for: ``global``/``nonlocal`` rebinding,
+    assignment to ``self.<attr>``, mutator-method calls on ``self``
+    state, and writes into (or mutator calls on) this module's top-level
+    globals.  Rebinding a plain local name is never flagged — Python
+    scoping makes it function-local.
+    """
+    locals_ = local_bindings(info)
+    writable = {name for name in module_globals if name not in locals_}
+
+    def _shared_root(target: ast.AST) -> str | None:
+        root = _attribute_root(target)
+        if root is None:
+            return None
+        if root == "self" and check_self:
+            return "self"
+        if root in writable:
+            return root
+        return None
+
+    for node in own_body(info):
+        if isinstance(node, ast.Global):
+            yield node, (f"'global {'/'.join(node.names)}' rebinds module "
+                         "state")
+        elif isinstance(node, ast.Nonlocal):
+            yield node, (f"'nonlocal {'/'.join(node.names)}' mutates "
+                         "closed-over state")
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.Assign):
+                targets: list[ast.AST] = list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is None:
+                continue  # `x: int` alone assigns nothing
+            else:
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _shared_root(target)
+                if root == "self":
+                    attr = (target.attr if isinstance(target, ast.Attribute)
+                            else "<item>")
+                    yield node, f"assignment to self.{attr}"
+                elif root is not None:
+                    yield node, f"assignment into module global '{root}'"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in MUTATORS:
+                root = _shared_root(func.value)
+                if root == "self":
+                    yield node, f".{func.attr}() on self state"
+                elif root is not None:
+                    yield node, (f".{func.attr}() mutates module global "
+                                 f"'{root}'")
+
+
+def ambient_findings(info: FunctionInfo,
+                     aliases: dict[str, str],
+                     ) -> Iterator[tuple[ast.AST, str]]:
+    """Ambient RNG / wall-clock reads inside ``info``'s own body."""
+    checker = AmbientNondeterminism()
+    for node in own_body(info):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _resolve(_dotted_name(node.func), aliases)
+        if name is None:
+            continue
+        if checker._diagnose(name, node) is not None:
+            yield node, f"reads ambient nondeterminism via '{name}'"
 
 
 # ----------------------------------------------------------------------
@@ -233,50 +350,58 @@ class AmbientNondeterminism(Rule):
 # ----------------------------------------------------------------------
 # DET002 — unordered iteration on aggregation paths
 # ----------------------------------------------------------------------
-class UnorderedIteration(Rule):
-    """No iteration over sets where numeric accumulation happens.
+class UnorderedIteration(CallGraphRule):
+    """No iteration over sets where numeric accumulation can happen.
 
-    Scope: the collectives package (including the sparse wire format in
-    ``collectives/sparse.py``, where iterating a *set* of coordinate
-    indices would scramble payload order, and the topology collectives in
-    ``collectives/hierarchical.py`` / ``collectives/innetwork.py``, where
-    group traversal order is message order), the parameter-server
-    package, the engine's aggregation/driver cost path (which now also
-    carries per-message wire accounting), the execution-backend fan-out
-    path (``engine/backend.py`` + ``core/worker.py``, where result order
-    is what keeps parallel backends bit-identical to serial), and the
-    cluster placement/network layer (``cluster/cluster.py`` +
-    ``cluster/network.py``, where executor-group order fixes the two-tier
-    message schedule).
+    Scope is *derived*, not declared.  The roots are the code that runs
+    inside (or feeds) a reduction:
+
+    * every function, method, and module body defined in a
+      ``collectives`` or ``ps`` package — the combine entry points of
+      the two aggregation data planes (shuffle-based AllReduce and the
+      parameter server);
+    * every task function handed to an execution backend
+      (``<backend>.map_partitions(fn, ...)`` / ``.run_one(fn, ...)`` /
+      ``.submit(fn, ...)`` sites, resolved through the call graph).
+
+    Everything transitively reachable from a root — helper modules, glm
+    kernels, wire formats, wherever they live — is in scope; nothing has
+    to be added to a file list when worker-side code grows or moves.
     """
 
     id = "DET002"
     summary = ("iteration over set/frozenset on an aggregation path: "
                "hash order is not a reduction order — float addition "
-               "does not commute bit-exactly; sort first")
+               "does not commute bit-exactly; sort first (scope: call "
+               "graph from collective/ps entry points and backend tasks)")
 
-    def applies_to(self, path: Path) -> bool:
-        parts = path.parts
-        return ("collectives" in parts or "ps" in parts
-                or path.name in ("aggregation.py", "driver.py",
-                                 "backend.py", "worker.py",
-                                 "cluster.py", "network.py"))
+    #: Directory names anchoring the combine entry points.
+    AGGREGATION_PACKAGES = ("collectives", "ps")
 
-    def check(self, src: "SourceFile") -> Iterator[Violation]:
-        for node in ast.walk(src.tree):
-            iters: list[ast.AST] = []
-            if isinstance(node, (ast.For, ast.AsyncFor)):
-                iters.append(node.iter)
-            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
-                                   ast.GeneratorExp)):
-                iters.extend(gen.iter for gen in node.generators)
-            for it in iters:
-                if self._is_unordered(it):
-                    yield self.violation(
-                        src, it,
-                        "iterating a set here makes the reduction order "
-                        "hash-dependent; iterate a sorted() or list view "
-                        "instead")
+    def check_graph(self, graph: CallGraph) -> Iterator[Violation]:
+        roots: set[str] = set()
+        for package in self.AGGREGATION_PACKAGES:
+            roots.update(f.qualname for f in graph.functions_under(package))
+        roots.update(graph.task_functions())
+        for qual, path in graph.reachable(sorted(roots)).items():
+            info = graph.functions[qual]
+            suffix = ""
+            if len(path) > 1:
+                suffix = f" [reachable via {graph.call_path_names(path)}]"
+            for node in own_body(info):
+                iters: list[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if self._is_unordered(it):
+                        yield self.violation(
+                            info.src, it,
+                            "iterating a set here makes the reduction "
+                            "order hash-dependent; iterate a sorted() or "
+                            "list view instead" + suffix)
 
     @staticmethod
     def _is_unordered(node: ast.AST) -> bool:
@@ -290,41 +415,62 @@ class UnorderedIteration(Rule):
 # ----------------------------------------------------------------------
 # PURE001 — cost-model pricing must be pure
 # ----------------------------------------------------------------------
-class ImpureCostModel(Rule):
+class ImpureCostModel(CallGraphRule):
     """``seconds()`` / ``*_seconds()`` / ``timing()`` must not mutate.
 
-    Scoped out of ``repro/perf/``: the profiler's timing accessors report
-    measured wall-clock aggregates (not simulated prices) and accumulate
-    state by design — they are measurements, not a cost model.
+    Two layers:
+
+    * **intraprocedural** — the pricing function's own body must not
+      rebind globals/nonlocals, assign to ``self`` attributes, or call
+      mutating methods on ``self`` state;
+    * **interprocedural** — every project function the pricing function
+      can reach through the call graph is checked for shared-state
+      mutation and ambient RNG/clock reads; an impure helper is flagged
+      *at the call site in the pricing function*, with the offending
+      path reported (``seconds -> _helper -> .append()``).
+
+    Scoped out of ``repro/perf/`` on both layers: the profiler's timing
+    accessors report measured wall-clock aggregates (not simulated
+    prices) and accumulate state by design — they are measurements, not
+    a cost model.  Constructor bodies (``__init__``/``__post_init__``)
+    reached through instantiation are exempt from the self-assignment
+    check: a fresh object's initialization is not shared state.
     """
 
     id = "PURE001"
     summary = ("cost-model pricing methods must be pure: pricing the "
-               "same phase twice must return the same seconds")
+               "same phase twice must return the same seconds; checked "
+               "through the call graph (impure helpers are flagged at "
+               "the pricing call site with the call path)")
 
-    def applies_to(self, path: Path) -> bool:
-        return "perf" not in path.parts
+    MUTATORS = MUTATORS
 
-    MUTATORS = frozenset({
-        "append", "extend", "add", "update", "insert", "remove", "discard",
-        "pop", "popitem", "clear", "setdefault", "sort", "reverse",
-        "setflags", "fill",
-    })
+    #: Constructors: self-assignments initialize a fresh object.
+    _CONSTRUCTORS = frozenset({"__init__", "__post_init__"})
 
     @staticmethod
     def _is_pricing_name(name: str) -> bool:
         return (name in ("seconds", "timing")
                 or name.endswith("_seconds"))
 
-    def check(self, src: "SourceFile") -> Iterator[Violation]:
-        for node in ast.walk(src.tree):
-            if not isinstance(node, (ast.FunctionDef,
-                                     ast.AsyncFunctionDef)):
-                continue
-            if not self._is_pricing_name(node.name):
-                continue
-            yield from self._check_body(src, node)
+    @staticmethod
+    def _measures_wall_time(info: FunctionInfo) -> bool:
+        return "perf" in info.src.path.parts
 
+    def check_graph(self, graph: CallGraph) -> Iterator[Violation]:
+        impurity_cache: dict[str, list[tuple[ast.AST, str]]] = {}
+        alias_cache: dict[str, dict[str, str]] = {}
+        for qual in sorted(graph.functions):
+            info = graph.functions[qual]
+            if info.is_module_body or not self._is_pricing_name(info.name):
+                continue
+            if self._measures_wall_time(info):
+                continue
+            yield from self._check_body(info.src, info.node)
+            yield from self._check_call_paths(graph, info, impurity_cache,
+                                              alias_cache)
+
+    # -- intraprocedural -----------------------------------------------
     def _check_body(self, src: "SourceFile",
                     func: ast.AST) -> Iterator[Violation]:
         for node in ast.walk(func):
@@ -334,8 +480,14 @@ class ImpureCostModel(Rule):
                     f"{'/'.join(node.names)} outside its own scope")
             elif isinstance(node, ast.Assign):
                 yield from self._check_targets(src, node, node.targets)
-            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                if node.target is not None:
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_targets(src, node, [node.target])
+            elif isinstance(node, ast.AnnAssign):
+                # `self.x: int` with no value declares, never assigns —
+                # per the AST grammar the target is always present, so
+                # the old `target is not None` guard was dead and the
+                # value-less form was wrongly treated as an assignment.
+                if node.value is not None:
                     yield from self._check_targets(src, node, [node.target])
             elif isinstance(node, ast.Call):
                 yield from self._check_mutator_call(src, node)
@@ -362,6 +514,59 @@ class ImpureCostModel(Rule):
                 src, call,
                 f".{func.attr}() on self state inside a pricing method "
                 "mutates cost-model state")
+
+    # -- interprocedural -----------------------------------------------
+    def _check_call_paths(
+            self, graph: CallGraph, root: FunctionInfo,
+            impurity_cache: dict[str, list[tuple[ast.AST, str]]],
+            alias_cache: dict[str, dict[str, str]],
+    ) -> Iterator[Violation]:
+        seen = {root.qualname}
+        queue: list[tuple[str, ast.AST, tuple[str, ...]]] = [
+            (callee, node, (root.qualname, callee))
+            for callee, node in graph.calls.get(root.qualname, ())]
+        reported: set[tuple[int, str, str]] = set()
+        while queue:
+            qual, entry, path = queue.pop(0)
+            if qual in seen or qual not in graph.functions:
+                continue
+            seen.add(qual)
+            info = graph.functions[qual]
+            if self._measures_wall_time(info):
+                continue  # measurement code; not a cost model
+            for node, detail in self._impurities(graph, info,
+                                                 impurity_cache,
+                                                 alias_cache):
+                key = (entry.lineno, qual, detail)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield Violation(
+                    path=root.src.path, line=entry.lineno,
+                    col=entry.col_offset + 1, rule=self.id,
+                    message=("impure call path "
+                             f"{graph.call_path_names(path)}: {detail} "
+                             f"({info.src.path.name}:{node.lineno}); "
+                             "pricing must stay pure all the way down"))
+            for callee, node in graph.calls.get(qual, ()):
+                if callee not in seen:
+                    queue.append((callee, entry, path + (callee,)))
+
+    def _impurities(self, graph: CallGraph, info: FunctionInfo,
+                    impurity_cache: dict[str, list[tuple[ast.AST, str]]],
+                    alias_cache: dict[str, dict[str, str]],
+                    ) -> list[tuple[ast.AST, str]]:
+        if info.qualname not in impurity_cache:
+            module = graph.modules.get(info.module)
+            module_globals = module.module_globals if module else set()
+            check_self = info.name not in self._CONSTRUCTORS
+            found = list(shared_state_findings(info, module_globals,
+                                               check_self=check_self))
+            if info.module not in alias_cache:
+                alias_cache[info.module] = _import_aliases(info.src.tree)
+            found.extend(ambient_findings(info, alias_cache[info.module]))
+            impurity_cache[info.qualname] = found
+        return impurity_cache[info.qualname]
 
 
 # ----------------------------------------------------------------------
@@ -467,12 +672,45 @@ class ConfigReachability(ProjectRule):
         return names
 
 
+# ----------------------------------------------------------------------
+# NOQA001 — suppressions must suppress something
+# ----------------------------------------------------------------------
+class UnusedSuppression(Rule):
+    """``# repro: noqa[RULE]`` comments that silence nothing.
+
+    As rules are rescoped by the call graph, old suppressions rot: the
+    comment stays, the diagnostic it silenced is long gone, and the next
+    *real* violation on that line is silently eaten.  The engine checks
+    every suppression after the other rules run and reports the stale
+    ones (opt out with ``--no-unused-noqa``).
+
+    This class is a registry marker — the check itself lives in
+    :func:`repro.analysis.engine.run_analysis`, because only the engine
+    sees which suppressions matched a diagnostic.
+    """
+
+    id = "NOQA001"
+    summary = ("unused '# repro: noqa[RULE]' suppression: it silences "
+               "nothing on its line (stale suppressions eat the next "
+               "real diagnostic); remove it or fix the rule id")
+
+    def check(self, src: "SourceFile") -> Iterator[Violation]:
+        return iter(())  # engine-implemented; see run_analysis
+
+
+# NOTE: imported at the bottom so rules_race can use this module's base
+# classes and helpers without a circular-import dance.
+from .rules_race import SharedStateMutation, UnpicklableTask  # noqa: E402
+
 #: Registry order is report order for same-position violations.
 ALL_RULES: tuple[Rule, ...] = (
     AmbientNondeterminism(),
     UnorderedIteration(),
     ImpureCostModel(),
     ConfigReachability(),
+    SharedStateMutation(),
+    UnpicklableTask(),
+    UnusedSuppression(),
 )
 
 

@@ -1,0 +1,5 @@
+"""Fixture package exercising call-graph construction: a re-exported
+entry point, a two-module recursion cycle, aliased imports, and method
+resolution through a project-defined base class."""
+
+from .alpha import ping

@@ -1,0 +1,9 @@
+"""Half of the import cycle; uses an aliased relative module import."""
+
+from . import beta as b
+
+
+def ping(n):
+    if n <= 0:
+        return 0
+    return b.pong(n - 1)

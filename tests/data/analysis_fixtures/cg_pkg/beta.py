@@ -1,0 +1,7 @@
+"""Other half of the cycle; imports alpha's function under an alias."""
+
+from .alpha import ping as bounce
+
+
+def pong(n):
+    return bounce(n)

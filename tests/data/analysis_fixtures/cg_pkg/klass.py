@@ -1,0 +1,22 @@
+"""Method resolution: ``self.helper()`` must resolve through the MRO to
+a project-defined base class; constructor calls route to ``__init__``."""
+
+
+class Base:
+    def helper(self):
+        return 1
+
+
+class Child(Base):
+    def __init__(self, k):
+        self.k = k
+
+    def entry(self):
+        return self.helper() + self.local()
+
+    def local(self):
+        return self.k
+
+
+def build():
+    return Child(2).entry()

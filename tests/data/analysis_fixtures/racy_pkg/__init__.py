@@ -1,0 +1,5 @@
+"""Fixture package: a deliberately racy backend task and the drivers
+that submit it.  Lint fodder for RACE001/RACE002 — and, imported at
+runtime, the proof that the race the linter flags actually changes the
+numbers under the thread backend (``tests/test_analysis_race.py``).
+"""

@@ -1,0 +1,31 @@
+"""Submit sites for the race fixtures: one per RACE002 problem class
+(lambda, nested function, bound method), plus the racy and clean
+module-level tasks for RACE001's positive and negative cases."""
+
+from .tasks import clean_sum_task, racy_sum_task
+
+
+class RacyDriver:
+    def __init__(self, backend):
+        self._backend = backend
+
+    def run_racy(self, args_by_worker):
+        return self._backend.map_partitions(racy_sum_task, args_by_worker)
+
+    def run_clean(self, args_by_worker):
+        return self._backend.map_partitions(clean_sum_task, args_by_worker)
+
+    def run_lambda(self, args_by_worker):
+        return self._backend.map_partitions(
+            lambda part: float(sum(part)), args_by_worker)
+
+    def run_nested(self, args_by_worker):
+        def local_task(part):
+            return float(sum(part))
+        return self._backend.map_partitions(local_task, args_by_worker)
+
+    def run_bound(self, args_by_worker):
+        return self._backend.map_partitions(self._bound_task, args_by_worker)
+
+    def _bound_task(self, part):
+        return float(sum(part))

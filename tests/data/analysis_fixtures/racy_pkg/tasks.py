@@ -1,0 +1,26 @@
+"""Task functions for the race fixtures.
+
+``racy_sum_task`` violates the backend contract on purpose: it
+accumulates into a module-level list, so the value each call returns
+depends on how many *other* calls have already appended — i.e. on
+scheduling.  The optional barrier makes the divergence deterministic in
+tests (both threads append before either sums) instead of depending on
+pool timing.
+"""
+
+_ACC = []
+
+
+def reset():
+    del _ACC[:]
+
+
+def racy_sum_task(partition, barrier=None):
+    _ACC.append(float(sum(partition)))
+    if barrier is not None:
+        barrier.wait()
+    return float(sum(_ACC))
+
+
+def clean_sum_task(partition):
+    return float(sum(partition))

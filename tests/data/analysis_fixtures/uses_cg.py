@@ -1,0 +1,8 @@
+"""Top-level module resolving a call through cg_pkg's __init__
+re-export chain."""
+
+from cg_pkg import ping
+
+
+def call_through_reexport():
+    return ping(3)

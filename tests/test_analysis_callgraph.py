@@ -1,0 +1,126 @@
+"""Call-graph construction tests (``repro.analysis.callgraph``).
+
+The fixture packages under ``tests/data/analysis_fixtures/`` exercise
+the resolution features the graph-scoped rules depend on: import cycles,
+aliased and relative imports, package ``__init__`` re-exports, method
+resolution through project-defined bases, and backend submit-site
+discovery.  The speed smoke at the bottom is the CI budget for keeping
+whole-tree analysis cheap.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import CallGraph, module_name_for, run_analysis
+from repro.analysis.engine import collect_files, load_source
+
+FIXTURES = Path(__file__).resolve().parent / "data" / "analysis_fixtures"
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def build_graph(*paths: Path) -> CallGraph:
+    files = [load_source(p) for p in collect_files(paths)]
+    return CallGraph(files)
+
+
+# ----------------------------------------------------------------------
+# module naming
+# ----------------------------------------------------------------------
+def test_module_name_follows_init_chain():
+    assert module_name_for(FIXTURES / "cg_pkg" / "alpha.py") == "cg_pkg.alpha"
+    assert module_name_for(FIXTURES / "cg_pkg" / "__init__.py") == "cg_pkg"
+    # analysis_fixtures/ has no __init__.py, so the package root is cg_pkg
+    # and a sibling bare file is just its stem.
+    assert module_name_for(FIXTURES / "uses_cg.py") == "uses_cg"
+    assert module_name_for(REPO_SRC / "engine" / "backend.py") == \
+        "repro.engine.backend"
+
+
+# ----------------------------------------------------------------------
+# edges: cycles, aliases, re-exports, methods
+# ----------------------------------------------------------------------
+def test_cycle_resolves_and_reachability_terminates():
+    graph = build_graph(FIXTURES / "cg_pkg")
+    edges = {callee for callee, _ in graph.calls["cg_pkg.alpha.ping"]}
+    assert "cg_pkg.beta.pong" in edges  # via the aliased module import
+    back = {callee for callee, _ in graph.calls["cg_pkg.beta.pong"]}
+    assert "cg_pkg.alpha.ping" in back  # via the aliased from-import
+    reach = graph.reachable(["cg_pkg.alpha.ping"])
+    assert set(reach) >= {"cg_pkg.alpha.ping", "cg_pkg.beta.pong"}
+    # Shortest path back around the cycle, not an infinite unrolling.
+    assert reach["cg_pkg.beta.pong"] == ("cg_pkg.alpha.ping",
+                                         "cg_pkg.beta.pong")
+
+
+def test_reexport_through_package_init():
+    graph = build_graph(FIXTURES / "cg_pkg", FIXTURES / "uses_cg.py")
+    edges = {callee for callee, _
+             in graph.calls["uses_cg.call_through_reexport"]}
+    assert "cg_pkg.alpha.ping" in edges
+
+
+def test_method_resolution_through_project_base():
+    graph = build_graph(FIXTURES / "cg_pkg")
+    edges = {callee for callee, _
+             in graph.calls["cg_pkg.klass.Child.entry"]}
+    assert edges == {"cg_pkg.klass.Base.helper", "cg_pkg.klass.Child.local"}
+
+
+def test_instantiation_routes_to_init():
+    graph = build_graph(FIXTURES / "cg_pkg")
+    edges = {callee for callee, _ in graph.calls["cg_pkg.klass.build"]}
+    assert "cg_pkg.klass.Child.__init__" in edges
+
+
+def test_unresolvable_calls_produce_no_edge():
+    # `Child(2).entry()` — a method on an arbitrary expression — must not
+    # be guessed; unsound-but-precise means no invented edges.
+    graph = build_graph(FIXTURES / "cg_pkg")
+    edges = {callee for callee, _ in graph.calls["cg_pkg.klass.build"]}
+    assert "cg_pkg.klass.Child.entry" not in edges
+
+
+# ----------------------------------------------------------------------
+# backend submit sites
+# ----------------------------------------------------------------------
+def test_submit_site_discovery_and_classification():
+    graph = build_graph(FIXTURES / "racy_pkg")
+    sites = {s.caller.qualname.rsplit(".", 1)[-1]: s
+             for s in graph.submit_sites()}
+    assert sites["run_racy"].task == "racy_pkg.tasks.racy_sum_task"
+    assert sites["run_racy"].problem is None
+    assert sites["run_clean"].task == "racy_pkg.tasks.clean_sum_task"
+    assert "lambda" in sites["run_lambda"].problem
+    assert "nested" in sites["run_nested"].problem
+    assert "bound method" in sites["run_bound"].problem
+    tasks = graph.task_functions()
+    # The nested function is a task root too — it still *runs* on the
+    # backend (RACE002 flags the submission separately).
+    assert set(tasks) == {
+        "racy_pkg.tasks.racy_sum_task",
+        "racy_pkg.tasks.clean_sum_task",
+        "racy_pkg.driver.RacyDriver.run_nested.<locals>.local_task",
+    }
+
+
+def test_repo_tree_submit_sites_resolve_worker_tasks():
+    # On the real tree the derived scope must find the worker tasks the
+    # old linter listed by filename.
+    graph = build_graph(REPO_SRC)
+    tasks = set(graph.task_functions())
+    assert "repro.core.worker.send_model_task" in tasks
+    assert "repro.core.worker.gradient_wave_task" in tasks
+
+
+# ----------------------------------------------------------------------
+# CI speed budget
+# ----------------------------------------------------------------------
+def test_full_tree_analysis_under_ten_seconds():
+    start = time.perf_counter()
+    result = run_analysis([REPO_SRC])
+    elapsed = time.perf_counter() - start
+    assert result.files_checked > 50
+    assert elapsed < 10.0, (f"full-tree analysis took {elapsed:.1f}s; "
+                            "the call graph must stay cheap")

@@ -60,5 +60,42 @@ def test_missing_path_is_usage_error(tmp_path, capsys):
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("DET001", "DET002", "PURE001", "CFG001"):
+    for rule_id in ("DET001", "DET002", "PURE001", "CFG001",
+                    "RACE001", "RACE002", "NOQA001"):
         assert rule_id in out
+
+
+def test_sarif_reporter(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    assert main([str(bad), "--format", "sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    [run] = document["runs"]
+    assert run["tool"]["driver"]["name"] == "repro.analysis"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "DET001" in rule_ids
+    [finding] = run["results"]
+    assert finding["ruleId"] == "DET001"
+    location = finding["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("bad.py")
+    assert location["region"]["startLine"] == 3
+
+
+def test_sarif_includes_suppressed_as_dismissed(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()  # repro: noqa[DET001]\n")
+    assert main([str(bad), "--format", "sarif"]) == 0
+    [run] = json.loads(capsys.readouterr().out)["runs"]
+    [finding] = run["results"]
+    assert finding["ruleId"] == "DET001"
+    assert finding["suppressions"][0]["kind"] == "inSource"
+
+
+def test_no_unused_noqa_flag(tmp_path, capsys):
+    quiet = tmp_path / "quiet.py"
+    quiet.write_text("x = 1  # repro: noqa[DET001]\n")
+    assert main([str(quiet)]) == 1
+    assert "NOQA001 unused suppression" in capsys.readouterr().out
+    assert main([str(quiet), "--no-unused-noqa"]) == 0
+    assert "NOQA001 unused suppression" not in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""RACE-family rule tests plus the runtime proof of the race.
+
+The fixture package ``tests/data/analysis_fixtures/racy_pkg`` defines a
+task that mutates a module-level accumulator.  These tests assert the
+static side (RACE001 flags it, RACE002 flags unpicklable submissions,
+the pre-call-graph rules all passed it) and the dynamic side: run under
+the real ``ThreadBackend``, the flagged task actually returns different
+numbers than serial — deterministically, thanks to a barrier that forces
+the interleaving the linter warns about.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+from repro.analysis import run_analysis
+from repro.engine.backend import SerialBackend, ThreadBackend
+
+FIXTURES = Path(__file__).resolve().parent / "data" / "analysis_fixtures"
+RACY = FIXTURES / "racy_pkg"
+
+if str(FIXTURES) not in sys.path:
+    sys.path.insert(0, str(FIXTURES))
+
+from racy_pkg import tasks  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# static: RACE001 / RACE002 on the fixtures
+# ----------------------------------------------------------------------
+def test_race001_flags_module_accumulator_mutation():
+    result = run_analysis([RACY])
+    race = [v for v in result.violations if v.rule == "RACE001"]
+    assert len(race) == 1
+    assert race[0].path.name == "tasks.py"
+    assert ".append() on module global '_ACC'" in race[0].message \
+        or "_ACC" in race[0].message
+    assert "racy_sum_task" in race[0].message
+    assert "pass state via arguments" in race[0].message
+
+
+def test_race001_clean_task_not_flagged():
+    result = run_analysis([RACY])
+    race = [v for v in result.violations if v.rule == "RACE001"]
+    assert all("clean_sum_task" not in v.message for v in race)
+
+
+def test_race002_flags_each_unpicklable_submission():
+    result = run_analysis([RACY])
+    race = [v for v in result.violations if v.rule == "RACE002"]
+    assert len(race) == 3
+    assert all(v.path.name == "driver.py" for v in race)
+    blob = " ".join(v.message for v in race)
+    assert "lambda" in blob
+    assert "nested" in blob
+    assert "bound method" in blob
+
+
+def test_old_rules_passed_the_racy_task():
+    # The acceptance criterion: before the call graph, nothing flagged
+    # this task — the first-generation rule set exits clean on it.
+    result = run_analysis([RACY],
+                          select=["DET001", "DET002", "PURE001", "CFG001"])
+    assert result.violations == []
+
+
+def test_race001_respects_noqa(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "tasks.py").write_text(
+        "_ACC = []\n\n\n"
+        "def racy_task(part):\n"
+        "    _ACC.append(float(sum(part)))  # repro: noqa[RACE001]\n"
+        "    return float(sum(_ACC))\n")
+    (pkg / "driver.py").write_text(
+        "from .tasks import racy_task\n\n\n"
+        "class Driver:\n"
+        "    def run(self, backend, args):\n"
+        "        return backend.map_partitions(racy_task, args)\n")
+    result = run_analysis([pkg])
+    assert result.violations == []
+    assert [v.rule for v in result.suppressed] == ["RACE001"]
+
+
+def test_race001_reports_mutation_reached_through_helper(tmp_path):
+    # The mutation sits one call away from the task; the diagnostic
+    # names the path from the task to the mutating helper.
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "tasks.py").write_text(
+        "_LOG = []\n\n\n"
+        "def _note(x):\n"
+        "    _LOG.append(x)\n\n\n"
+        "def task(part):\n"
+        "    _note(len(part))\n"
+        "    return float(sum(part))\n")
+    (pkg / "driver.py").write_text(
+        "from .tasks import task\n\n\n"
+        "class Driver:\n"
+        "    def run(self, backend, args):\n"
+        "        return backend.map_partitions(task, args)\n")
+    result = run_analysis([pkg])
+    race = [v for v in result.violations if v.rule == "RACE001"]
+    assert len(race) == 1
+    assert race[0].path.name == "tasks.py"
+    assert race[0].line == 5  # the append inside the helper
+    assert "task -> _note" in race[0].message
+
+
+# ----------------------------------------------------------------------
+# dynamic: the flagged race really changes the numbers
+# ----------------------------------------------------------------------
+def test_racy_task_diverges_from_serial_under_threads():
+    partitions = [[1.0], [2.0]]
+
+    tasks.reset()
+    serial = SerialBackend()
+    serial.install_partitions(partitions)
+    try:
+        serial_out = serial.map_partitions(tasks.racy_sum_task,
+                                           [(None,), (None,)])
+    finally:
+        serial.close()
+    # Serial sees prefix sums: the second call observes the first append.
+    assert serial_out == [1.0, 3.0]
+
+    tasks.reset()
+    threads = ThreadBackend(max_workers=2)
+    threads.install_partitions(partitions)
+    barrier = threading.Barrier(2)
+    try:
+        thread_out = threads.map_partitions(tasks.racy_sum_task,
+                                            [(barrier,), (barrier,)])
+    finally:
+        threads.close()
+        tasks.reset()
+    # Both threads append before either sums — the interleaving RACE001
+    # warns about — and the numbers silently differ from serial.
+    assert thread_out == [3.0, 3.0]
+    assert thread_out != serial_out
+
+
+def test_clean_task_is_backend_invariant():
+    partitions = [[1.0], [2.0]]
+    serial = SerialBackend()
+    serial.install_partitions(partitions)
+    try:
+        serial_out = serial.map_partitions(tasks.clean_sum_task, [(), ()])
+    finally:
+        serial.close()
+    threads = ThreadBackend(max_workers=2)
+    threads.install_partitions(partitions)
+    try:
+        thread_out = threads.map_partitions(tasks.clean_sum_task, [(), ()])
+    finally:
+        threads.close()
+    assert serial_out == thread_out == [1.0, 2.0]

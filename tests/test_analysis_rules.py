@@ -12,7 +12,8 @@ from pathlib import Path
 from repro.analysis import (PARSE_RULE_ID, parse_noqa, rule_registry,
                             run_analysis)
 
-ALL_IDS = {"DET001", "DET002", "PURE001", "CFG001"}
+ALL_IDS = {"DET001", "DET002", "PURE001", "CFG001",
+           "RACE001", "RACE002", "NOQA001"}
 
 
 def lint(tmp_path: Path, name: str, source: str, **kwargs):
@@ -138,10 +139,39 @@ def test_det002_flags_set_iteration_in_scoped_paths(tmp_path):
     assert len(det) == 2
 
 
-def test_det002_applies_to_collectives_and_aggregation(tmp_path):
+def test_det002_applies_to_collectives_and_ps_roots(tmp_path):
+    # Functions living under an aggregation package are scope roots.
     assert "DET002" in rules_hit(
         lint(tmp_path, "collectives/reduce.py", DET002_BAD))
-    assert "DET002" in rules_hit(lint(tmp_path, "aggregation.py", DET002_BAD))
+    assert "DET002" in rules_hit(lint(tmp_path, "ps/server.py", DET002_BAD))
+
+
+def test_det002_scope_is_reachability_not_filename(tmp_path):
+    # The same helper module is out of scope on its own...
+    helper = ("def merge(parts):\n"
+              "    out = 0.0\n"
+              "    for p in set(parts):\n"
+              "        out += p\n"
+              "    return out\n")
+    alone = lint(tmp_path / "alone", "helpers.py", helper)
+    assert "DET002" not in rules_hit(alone)
+
+    # ...but in scope once a collective combine entry point calls it —
+    # no filename list to extend, the call graph derives the scope.
+    proj = tmp_path / "proj"
+    (proj / "collectives").mkdir(parents=True)
+    (proj / "collectives" / "__init__.py").write_text("")
+    (proj / "collectives" / "reduce.py").write_text(
+        "from helpers import merge\n\n\n"
+        "def combine(parts):\n"
+        "    return merge(parts)\n")
+    (proj / "helpers.py").write_text(helper)
+    result = run_analysis([proj])
+    det = [v for v in result.violations if v.rule == "DET002"]
+    assert len(det) == 1
+    assert det[0].path.name == "helpers.py"
+    assert "reachable via" in det[0].message
+    assert "combine" in det[0].message
 
 
 def test_det002_ignores_files_outside_scope(tmp_path):
@@ -206,11 +236,24 @@ def test_det001_flags_wall_clock_outside_perf(tmp_path):
     assert len(det) == 2
 
 
-def test_det002_applies_to_backend_and_worker(tmp_path):
-    assert "DET002" in rules_hit(
-        lint(tmp_path, "engine/backend.py", DET002_BAD))
-    assert "DET002" in rules_hit(
-        lint(tmp_path, "core/worker.py", DET002_BAD))
+def test_det002_covers_backend_task_functions(tmp_path):
+    # A function handed to a backend submit site is a DET002 root even
+    # though it lives nowhere near collectives/ or ps/.
+    (tmp_path / "worker.py").write_text(
+        "def fold_task(parts):\n"
+        "    acc = 0.0\n"
+        "    for p in set(parts):\n"
+        "        acc += p\n"
+        "    return acc\n")
+    (tmp_path / "driver.py").write_text(
+        "from worker import fold_task\n\n\n"
+        "class Trainer:\n"
+        "    def step(self, parts):\n"
+        "        return self._backend.map_partitions(fold_task, parts)\n")
+    result = run_analysis([tmp_path])
+    det = [v for v in result.violations if v.rule == "DET002"]
+    assert len(det) == 1
+    assert det[0].path.name == "worker.py"
 
 
 # ----------------------------------------------------------------------
@@ -272,6 +315,90 @@ def test_pure001_skips_perf_paths(tmp_path):
     # The profiler's accumulating phase timers look like impure "seconds"
     # methods; PURE001 polices cost models, not measurement.
     result = lint(tmp_path, "perf/profiler.py", PURE001_BAD)
+    assert "PURE001" not in rules_hit(result)
+
+
+def test_pure001_valueless_annassign_is_not_an_assignment(tmp_path):
+    # `self.calls: int` declares a type, assigns nothing — only the
+    # annotated assignment with a value is impure.
+    src = ("class CostModel:\n"
+           "    def seconds(self, n):\n"
+           "        self.calls: int\n"
+           "        self.total: float = n\n"
+           "        return n * 0.1\n")
+    result = lint(tmp_path, "cost.py", src)
+    pure = [v for v in result.violations if v.rule == "PURE001"]
+    assert len(pure) == 1
+    assert pure[0].line == 4
+
+
+PURE001_INDIRECT = """\
+class CostModel:
+    def __init__(self):
+        self.log = []
+
+    def seconds(self, n):
+        return self._base(n) * 0.1
+
+    def _base(self, n):
+        self.log.append(n)
+        return n
+"""
+
+
+def test_pure001_follows_calls_to_impure_helpers(tmp_path):
+    result = lint(tmp_path, "cost.py", PURE001_INDIRECT)
+    pure = [v for v in result.violations if v.rule == "PURE001"]
+    assert len(pure) == 1
+    # Flagged at the call site inside the pricing function, naming the
+    # path to the offending mutation.
+    assert pure[0].line == 6
+    assert "CostModel.seconds -> CostModel._base" in pure[0].message
+    assert "pricing must stay pure" in pure[0].message
+
+
+def test_pure001_follows_module_function_chains(tmp_path):
+    src = ("import time\n"
+           "\n\n"
+           "def _stamp():\n"
+           "    return time.time()\n"
+           "\n\n"
+           "def _chain(n):\n"
+           "    return _stamp() + n\n"
+           "\n\n"
+           "def link_seconds(n):\n"
+           "    return _chain(n) * 2.0\n")
+    result = lint(tmp_path, "cost.py", src)
+    pure = [v for v in result.violations if v.rule == "PURE001"]
+    assert len(pure) == 1
+    assert pure[0].line == 13
+    assert "link_seconds -> _chain -> _stamp" in pure[0].message
+
+
+def test_pure001_interprocedural_ignores_pure_helpers(tmp_path):
+    src = ("def _scale(n):\n"
+           "    factor = 2.0\n"
+           "    return n * factor\n"
+           "\n\n"
+           "def fan_seconds(n):\n"
+           "    return _scale(n) + 1.0\n")
+    result = lint(tmp_path, "cost.py", src)
+    assert "PURE001" not in rules_hit(result)
+
+
+def test_pure001_interprocedural_perf_helpers_exempt(tmp_path):
+    # A pricing function may call into perf/ instrumentation — the perf
+    # tree is exempt wall-clock territory, same as intraprocedurally.
+    proj = tmp_path / "proj"
+    (proj / "perf").mkdir(parents=True)
+    (proj / "perf" / "__init__.py").write_text("")
+    (proj / "perf" / "timers.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n")
+    (proj / "cost.py").write_text(
+        "from perf.timers import stamp\n\n\n"
+        "def run_seconds(n):\n"
+        "    return stamp() * 0.0 + n\n")
+    result = run_analysis([proj])
     assert "PURE001" not in rules_hit(result)
 
 
@@ -393,7 +520,11 @@ def test_parse_noqa_forms():
 def test_noqa_for_other_rule_does_not_suppress(tmp_path):
     src = "import time\nstarted = time.time()  # repro: noqa[DET002]\n"
     result = lint(tmp_path, "timed.py", src)
-    assert [v.rule for v in result.violations] == ["DET001"]
+    # The DET001 diagnostic survives, and NOQA001 points out that the
+    # DET002 suppression silenced nothing.
+    assert [v.rule for v in result.violations] == ["DET001", "NOQA001"]
+    quiet = lint(tmp_path, "timed.py", src, unused_noqa=False)
+    assert [v.rule for v in quiet.violations] == ["DET001"]
 
 
 def test_rule_selection_and_ignore(tmp_path):
@@ -403,3 +534,58 @@ def test_rule_selection_and_ignore(tmp_path):
     assert only.rules_run == ("DET001",)
     ignored = run_analysis([path], ignore=["DET001"])
     assert ignored.violations == []
+
+
+# ----------------------------------------------------------------------
+# NOQA001: suppressions must suppress something
+# ----------------------------------------------------------------------
+def test_noqa001_used_suppression_is_silent(tmp_path):
+    src = "import time\nstarted = time.time()  # repro: noqa[DET001]\n"
+    result = lint(tmp_path, "timed.py", src)
+    assert result.violations == []
+
+
+def test_noqa001_flags_stale_suppression(tmp_path):
+    src = "x = 1  # repro: noqa[DET001]\n"
+    result = lint(tmp_path, "quiet.py", src)
+    assert [v.rule for v in result.violations] == ["NOQA001"]
+    assert "unused suppression" in result.violations[0].message
+    # The diagnostic points at the comment, not column 1.
+    assert result.violations[0].col == 8
+
+
+def test_noqa001_flags_unknown_rule_id(tmp_path):
+    src = "x = 1  # repro: noqa[DET999]\n"
+    result = lint(tmp_path, "typo.py", src)
+    assert [v.rule for v in result.violations] == ["NOQA001"]
+    assert "unknown rule 'DET999'" in result.violations[0].message
+
+
+def test_noqa001_flags_unused_bare_noqa_on_full_runs(tmp_path):
+    src = "x = 1  # repro: noqa\n"
+    result = lint(tmp_path, "quiet.py", src)
+    assert [v.rule for v in result.violations] == ["NOQA001"]
+    # A partial run cannot judge a bare suppression (an unselected rule
+    # might need it) — only full runs report it.
+    partial = lint(tmp_path, "quiet.py", src, select=["DET001", "NOQA001"])
+    assert partial.violations == []
+
+
+def test_noqa001_opt_out(tmp_path):
+    src = "x = 1  # repro: noqa[DET001]\n"
+    result = lint(tmp_path, "quiet.py", src, unused_noqa=False)
+    assert result.violations == []
+
+
+def test_noqa001_explicit_allowlist_suppresses_the_audit(tmp_path):
+    src = "x = 1  # repro: noqa[DET001, NOQA001]\n"
+    result = lint(tmp_path, "quiet.py", src)
+    assert result.violations == []
+    assert "NOQA001" in {v.rule for v in result.suppressed}
+
+
+def test_noqa001_ignores_mentions_inside_strings(tmp_path):
+    src = ('DOC = """use # repro: noqa[DET001] to silence"""\n'
+           "x = 1\n")
+    result = lint(tmp_path, "doc.py", src)
+    assert result.violations == []

@@ -496,13 +496,24 @@ class TestConfigAndCli:
 # linter scope (satellite)
 # ----------------------------------------------------------------------
 class TestLinterScope:
-    def test_det002_covers_the_sparse_wire_module(self):
-        from repro.analysis.rules import UnorderedIteration
-        rule = UnorderedIteration()
-        assert rule.applies_to(Path("src/repro/collectives/sparse.py"))
-        assert rule.applies_to(Path("src/repro/engine/driver.py"))
-        assert rule.applies_to(Path("src/repro/engine/aggregation.py"))
-        assert not rule.applies_to(Path("src/repro/metrics/reporting.py"))
+    def test_det002_covers_the_sparse_wire_module(self, tmp_path):
+        # DET002's scope is no longer a filename list on the rule: it is
+        # derived from the call graph, with every function under a
+        # collectives/ (or ps/) package as a root.  The sparse wire
+        # module stays covered; metrics reporting stays out of scope.
+        from repro.analysis import run_analysis
+        bad = ("def combine(parts):\n"
+               "    acc = 0.0\n"
+               "    for p in set(parts):\n"
+               "        acc += p\n"
+               "    return acc\n")
+        (tmp_path / "collectives").mkdir()
+        (tmp_path / "collectives" / "sparse.py").write_text(bad)
+        (tmp_path / "metrics").mkdir()
+        (tmp_path / "metrics" / "reporting.py").write_text(bad)
+        result = run_analysis([tmp_path], select=["DET002"])
+        hit_dirs = {v.path.parent.name for v in result.violations}
+        assert hit_dirs == {"collectives"}
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from data.make_golden import SYSTEMS, golden_workload
-from repro.analysis.rules import UnorderedIteration
 from repro.cli import build_parser
 from repro.cluster import (ClusterSpec, NetworkModel, TieredNetworkModel,
                            cluster1, tiered_cluster)
@@ -476,14 +475,35 @@ class TestConfigAndCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--collective", "mesh"])
 
-    def test_det002_covers_topology_modules(self):
-        rule = UnorderedIteration()
-        for rel in ("src/repro/collectives/hierarchical.py",
-                    "src/repro/collectives/innetwork.py",
-                    "src/repro/cluster/network.py",
-                    "src/repro/cluster/cluster.py"):
-            assert rule.applies_to(Path(rel)), rel
-        assert not rule.applies_to(Path("src/repro/glm/objective.py"))
+    def test_det002_covers_topology_modules(self, tmp_path):
+        # Scope is derived, not declared: every function under a
+        # collectives/ package is a DET002 root, a cluster helper is
+        # covered the moment a collective calls it, and an unrelated
+        # module stays out of scope.
+        from repro.analysis import run_analysis
+        bad = ("def fold{n}(parts):\n"
+               "    acc = 0.0\n"
+               "    for p in set(parts):\n"
+               "        acc += p\n"
+               "    return acc\n")
+        (tmp_path / "collectives").mkdir()
+        (tmp_path / "collectives" / "__init__.py").write_text("")
+        (tmp_path / "collectives" / "hierarchical.py").write_text(
+            bad.format(n=1))
+        (tmp_path / "collectives" / "innetwork.py").write_text(
+            "from cluster.network import hop_order\n\n\n"
+            "def combine(parts):\n"
+            "    return hop_order(parts)\n")
+        (tmp_path / "cluster").mkdir()
+        (tmp_path / "cluster" / "__init__.py").write_text("")
+        (tmp_path / "cluster" / "network.py").write_text(
+            "def hop_order(parts):\n"
+            "    return [p for p in set(parts)]\n")
+        (tmp_path / "glm").mkdir()
+        (tmp_path / "glm" / "objective.py").write_text(bad.format(n=2))
+        result = run_analysis([tmp_path], select=["DET002"])
+        hit = {v.path.name for v in result.violations}
+        assert hit == {"hierarchical.py", "network.py"}
 
 
 # ----------------------------------------------------------------------
