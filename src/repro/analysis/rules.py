@@ -357,9 +357,10 @@ class UnorderedIteration(CallGraphRule):
     inside (or feeds) a reduction:
 
     * every function, method, and module body defined in a
-      ``collectives`` or ``ps`` package — the combine entry points of
-      the two aggregation data planes (shuffle-based AllReduce and the
-      parameter server);
+      ``collectives``, ``ps``, or ``sched`` package — the combine entry
+      points of the two aggregation data planes (shuffle-based AllReduce
+      and the parameter server) and the cluster scheduler, whose
+      schedule log carries a byte-identity replay contract;
     * every task function handed to an execution backend
       (``<backend>.map_partitions(fn, ...)`` / ``.run_one(fn, ...)`` /
       ``.submit(fn, ...)`` sites, resolved through the call graph).
@@ -376,7 +377,7 @@ class UnorderedIteration(CallGraphRule):
                "graph from collective/ps entry points and backend tasks)")
 
     #: Directory names anchoring the combine entry points.
-    AGGREGATION_PACKAGES = ("collectives", "ps")
+    AGGREGATION_PACKAGES = ("collectives", "ps", "sched")
 
     def check_graph(self, graph: CallGraph) -> Iterator[Violation]:
         roots: set[str] = set()
@@ -576,12 +577,13 @@ class ConfigReachability(ProjectRule):
     """Every config-dataclass field must be settable from ``cli.py``."""
 
     id = "CFG001"
-    summary = ("TrainerConfig/ServeConfig fields must be reachable from "
-               "the CLI or explicitly allowlisted; unreachable knobs are "
-               "dead configuration")
+    summary = ("TrainerConfig/ServeConfig/SchedConfig fields must be "
+               "reachable from the CLI or explicitly allowlisted; "
+               "unreachable knobs are dead configuration")
 
     #: Config dataclasses whose fields the CLI must be able to set.
-    CONFIG_CLASSES: tuple[str, ...] = ("TrainerConfig", "ServeConfig")
+    CONFIG_CLASSES: tuple[str, ...] = ("TrainerConfig", "ServeConfig",
+                                       "SchedConfig")
     #: Fields exempt from CLI reachability (none today; prefer wiring new
     #: fields into the CLI over growing this list).
     ALLOWED: frozenset[str] = frozenset()

@@ -64,20 +64,41 @@ class SharedStateMutation(CallGraphRule):
     """
 
     id = "RACE001"
-    summary = ("backend task functions (and everything they call) must "
-               "not mutate shared state — module globals, closed-over "
-               "names, or self attributes; parallel backends make the "
-               "result scheduling-dependent")
+    summary = ("backend task functions and scheduler dispatch functions "
+               "(and everything they call) must not mutate shared state "
+               "— module globals, closed-over names, or self attributes; "
+               "parallel backends make the result scheduling-dependent "
+               "and impure dispatch breaks schedule replay")
+
+    #: Package whose module-level ``dispatch_*`` policy functions are
+    #: purity roots alongside backend tasks: the scheduler's
+    #: byte-identical-replay contract folds these over the event
+    #: sequence, so hidden state would make two replays diverge.
+    DISPATCH_PACKAGE = "sched"
+    DISPATCH_PREFIX = "dispatch_"
+
+    def _dispatch_roots(self, graph: CallGraph) -> set[str]:
+        return {f.qualname
+                for f in graph.functions_under(self.DISPATCH_PACKAGE)
+                if f.name.startswith(self.DISPATCH_PREFIX)}
 
     def check_graph(self, graph: CallGraph) -> Iterator[Violation]:
-        tasks = graph.task_functions()
-        if not tasks:
+        tasks = set(graph.task_functions())
+        dispatch = self._dispatch_roots(graph)
+        roots = tasks | dispatch
+        if not roots:
             return
-        for qual, path in graph.reachable(sorted(tasks)).items():
+        for qual, path in graph.reachable(sorted(roots)).items():
             info = graph.functions[qual]
             module = graph.modules.get(info.module)
             module_globals = module.module_globals if module else set()
-            task = graph.functions[path[0]]
+            root = graph.functions[path[0]]
+            role = ("scheduler dispatch function"
+                    if path[0] in dispatch else "backend task")
+            consequence = (
+                "two replays of the same schedule diverge"
+                if path[0] in dispatch else
+                "thread and process backends make this a race")
             # A constructor assigning to `self` is building a fresh,
             # task-local object — not shared state.  (Same carve-out as
             # interprocedural PURE001.)
@@ -87,11 +108,11 @@ class SharedStateMutation(CallGraphRule):
                 yield Violation(
                     path=info.src.path, line=node.lineno,
                     col=node.col_offset + 1, rule=self.id,
-                    message=(f"{detail} inside code run by backend task "
-                             f"'{task.short}' (path: "
-                             f"{graph.call_path_names(path)}); thread and "
-                             "process backends make this a race — pass "
-                             "state via arguments and return values"))
+                    message=(f"{detail} inside code run by {role} "
+                             f"'{root.short}' (path: "
+                             f"{graph.call_path_names(path)}); "
+                             f"{consequence} — pass state via arguments "
+                             "and return values"))
 
 
 class UnpicklableTask(CallGraphRule):

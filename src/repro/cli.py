@@ -17,6 +17,12 @@ Commands:
 * ``perf``       — wall-clock profiling: per-kernel reference-vs-fast
   speedups and an end-to-end execution-backend sweep, with bit-identity
   asserted before any speedup is reported.
+* ``sched``      — multi-tenant cluster scheduler: ``submit``/``list``/
+  ``status``/``cancel`` manage a JSON job queue, ``run`` plays it
+  through the deterministic event-driven scheduler (FIFO or weighted
+  fair share, optional elastic resizing and preemption at superstep
+  barriers), and ``run-trace`` does the same over a generated Poisson
+  arrival trace.
 
 Examples::
 
@@ -30,6 +36,11 @@ Examples::
         --data avazu --head 5
     python -m repro serve-bench --registry ./models --name avazu-svm \\
         --data avazu --out BENCH_serving.json
+    python -m repro sched submit --queue jobs.json --name exp1 \\
+        --system "MLlib*" --executors 4 --steps 6 --priority 2
+    python -m repro sched run --queue jobs.json --policy fair --elastic
+    python -m repro sched run-trace --rate 80 --duration 0.25 \\
+        --policy fair --elastic --preempt --gantt
 """
 
 from __future__ import annotations
@@ -46,10 +57,13 @@ from .core import (MLlibModelAveragingTrainer, MLlibStarTrainer,
 from .data import CATALOG, dataset_names, load, read_libsvm
 from .glm import ArtifactError, GLMModel, Objective
 from .metrics import (comm_report, evaluate_convergence, format_speedup,
-                      format_table, render_ascii, serving_report, speedup,
-                      summarize, write_histories_json, write_history_csv)
+                      format_table, render_ascii, sched_report,
+                      serving_report, speedup, summarize,
+                      write_histories_json, write_history_csv)
 from .ps import (AngelTrainer, AsyncSgdTrainer, PetuumStarTrainer,
                  PetuumTrainer)
+from .sched import (SCHED_POLICIES, ClusterScheduler, JobSpec, SchedConfig,
+                    poisson_job_trace)
 from .serve import (ModelRegistry, PredictionService, RegistryError,
                     ServeConfig, ServingCostModel, dataset_requests,
                     rate_sweep)
@@ -302,6 +316,113 @@ def build_parser() -> argparse.ArgumentParser:
                            "backend sweep)")
     perf.add_argument("--out", metavar="PATH",
                       help="write the measurements to JSON")
+
+    sched = sub.add_parser(
+        "sched", help="multi-tenant cluster scheduler: queue management "
+                      "and deterministic schedule playback")
+    ssub = sched.add_subparsers(dest="sched_command", required=True)
+
+    def add_sched_run_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--policy", default="fifo",
+                       choices=list(SCHED_POLICIES),
+                       help="admission order: strict arrival order with "
+                            "backfill, or weighted fair share by job "
+                            "priority")
+        p.add_argument("--elastic", action="store_true",
+                       help="grow/shrink elastic jobs between their "
+                            "min/max widths at superstep barriers")
+        p.add_argument("--preempt", action="store_true",
+                       help="let a starved higher-priority job preempt "
+                            "the lightest running job (checkpointed at "
+                            "its next barrier; 'fair' policy only)")
+        p.add_argument("--total-executors", type=int, default=8,
+                       help="executors in the shared scheduler pool")
+        p.add_argument("--resize-every", type=int, default=1,
+                       help="consider elastic width changes only at "
+                            "every Nth barrier of a job")
+        p.add_argument("--seed", type=int, default=0,
+                       help="seed for per-job sub-cluster construction")
+        p.add_argument("--gantt", action="store_true",
+                       help="render the per-job gantt chart")
+        p.add_argument("--show-log", action="store_true",
+                       help="print the full schedule event log")
+        p.add_argument("--out", metavar="PATH",
+                       help="write the run summary (report, per-job "
+                            "rows, log digest) to JSON")
+
+    def add_job_spec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--name", required=True, help="unique job name")
+        p.add_argument("--system", default="MLlib*",
+                       choices=sorted(SYSTEMS))
+        p.add_argument("--arrival", type=float, default=0.0,
+                       help="simulated arrival second")
+        p.add_argument("--priority", type=int, default=1,
+                       help="fair-share weight (>= 1)")
+        p.add_argument("--executors", type=int, default=4,
+                       help="requested gang width")
+        p.add_argument("--min-executors", type=int, default=None,
+                       help="elastic lower width bound (default: rigid)")
+        p.add_argument("--max-executors", type=int, default=None,
+                       help="elastic upper width bound (default: rigid)")
+        p.add_argument("--steps", type=int, default=5,
+                       help="communication-step budget")
+        p.add_argument("--rows", type=int, default=240,
+                       help="synthetic dataset rows")
+        p.add_argument("--features", type=int, default=64,
+                       help="synthetic dataset features (model size)")
+        p.add_argument("--nnz-per-row", type=float, default=8.0)
+        p.add_argument("--data-seed", type=int, default=17)
+        p.add_argument("--loss", default="hinge",
+                       choices=["hinge", "logistic", "squared"])
+        p.add_argument("--l2", type=float, default=0.1)
+        p.add_argument("--learning-rate", type=float, default=0.5)
+        p.add_argument("--schedule", default="inv_sqrt",
+                       choices=["constant", "inv_sqrt", "inv_time"])
+        p.add_argument("--batch-fraction", type=float, default=0.25)
+        p.add_argument("--chunk-size", type=int, default=16)
+        p.add_argument("--eval-every", type=int, default=1)
+        p.add_argument("--seed", type=int, default=0,
+                       help="trainer seed")
+
+    submit = ssub.add_parser("submit", help="append one job to the queue")
+    submit.add_argument("--queue", required=True, metavar="PATH",
+                        help="JSON job-queue file (created if missing)")
+    add_job_spec_args(submit)
+
+    slist = ssub.add_parser("list", help="show the queued jobs")
+    slist.add_argument("--queue", required=True, metavar="PATH")
+
+    status = ssub.add_parser(
+        "status", help="per-job status of the queue's last run (falls "
+                       "back to the queue contents)")
+    status.add_argument("--queue", required=True, metavar="PATH")
+    status.add_argument("--name", default=None,
+                        help="show one job only")
+
+    cancel = ssub.add_parser("cancel", help="remove one job from the queue")
+    cancel.add_argument("--queue", required=True, metavar="PATH")
+    cancel.add_argument("--name", required=True)
+
+    run = ssub.add_parser(
+        "run", help="play the queue through the scheduler")
+    run.add_argument("--queue", required=True, metavar="PATH")
+    add_sched_run_args(run)
+
+    trace = ssub.add_parser(
+        "run-trace", help="generate a Poisson arrival trace and play it")
+    trace.add_argument("--rate", type=float, default=40.0,
+                       help="mean job arrivals per simulated second")
+    trace.add_argument("--duration", type=float, default=0.25,
+                       help="arrival window in simulated seconds")
+    trace.add_argument("--trace-seed", type=int, default=0,
+                       help="workload trace seed")
+    trace.add_argument("--system", default="MLlib*",
+                       choices=sorted(SYSTEMS))
+    trace.add_argument("--elastic-jobs", action="store_true",
+                       help="give generated jobs elastic width ranges")
+    trace.add_argument("--max-width", type=int, default=6,
+                       help="cap on any generated job's width")
+    add_sched_run_args(trace)
     return parser
 
 
@@ -732,6 +853,210 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def _make_sched_config(args) -> SchedConfig:
+    return SchedConfig(policy=args.policy, elastic=args.elastic,
+                       preempt=args.preempt,
+                       total_executors=args.total_executors,
+                       resize_every=args.resize_every, seed=args.seed)
+
+
+def _sched_queue_path(args) -> Path:
+    return Path(args.queue)
+
+
+def _sched_status_path(queue: Path) -> Path:
+    return queue.with_suffix(queue.suffix + ".status")
+
+
+def _sched_load_queue(queue: Path) -> list[JobSpec]:
+    if not queue.exists():
+        return []
+    payload = json.loads(queue.read_text(encoding="ascii"))
+    return [JobSpec.from_json(entry) for entry in payload["jobs"]]
+
+
+def _sched_save_queue(queue: Path, specs: list[JobSpec]) -> None:
+    payload = {"jobs": [spec.to_json() for spec in specs]}
+    queue.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                     encoding="ascii")
+
+
+_SCHED_JOB_HEADERS = ["job", "state", "prio", "arrival", "steps", "width",
+                      "wait s", "jct s", "preempt", "resize", "converged"]
+
+
+def _sched_job_rows(summaries: list[dict]) -> list[list[object]]:
+    return [[s["name"], s["state"], s["priority"], round(s["arrival"], 4),
+             f"{s['steps_done']}/{s['steps']}", s["width"],
+             round(s["queue_wait"], 4),
+             None if s["jct"] is None else round(s["jct"], 4),
+             s["preemptions"], s["resizes"],
+             "yes" if s["converged"] else "no"]
+            for s in summaries]
+
+
+def _sched_play(args, specs: list[JobSpec], queue: Path | None) -> int:
+    try:
+        config = _make_sched_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    scheduler = ClusterScheduler(config)
+    for spec in specs:
+        scheduler.submit(spec)
+    result = scheduler.run()
+    report = sched_report(result)
+    summaries = [job.summary() for job in result.jobs]
+    print(format_table(_SCHED_JOB_HEADERS, _sched_job_rows(summaries),
+                       title=f"schedule ({config.policy}"
+                             f"{', elastic' if config.elastic else ''}"
+                             f"{', preempt' if config.preempt else ''}, "
+                             f"{config.total_executors} executors)"))
+    print()
+    print(report.describe())
+    print(f"schedule log: {len(result.log)} events, "
+          f"digest {result.log.digest()[:16]}")
+    if args.show_log:
+        print()
+        print(result.log.text(), end="")
+    if args.gantt:
+        print()
+        print(render_ascii(result.trace, width=72))
+    payload = {
+        "config": {"policy": config.policy, "elastic": config.elastic,
+                   "preempt": config.preempt,
+                   "total_executors": config.total_executors,
+                   "resize_every": config.resize_every,
+                   "seed": config.seed},
+        "report": {
+            "jobs": report.jobs, "finished": report.finished,
+            "preemptions": report.preemptions, "resizes": report.resizes,
+            "makespan": report.makespan, "goodput": report.goodput,
+            "utilization": report.utilization,
+            "mean_queue_wait": report.mean_queue_wait,
+            "jct_p50": report.jct_p50, "jct_p95": report.jct_p95},
+        "jobs": summaries,
+        "log_digest": result.log.digest(),
+    }
+    if queue is not None:
+        _sched_status_path(queue).write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="ascii")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="ascii")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_sched_submit(args) -> int:
+    queue = _sched_queue_path(args)
+    specs = _sched_load_queue(queue)
+    if any(spec.name == args.name for spec in specs):
+        print(f"error: job {args.name!r} is already queued",
+              file=sys.stderr)
+        return 1
+    specs.append(JobSpec(
+        name=args.name, system=args.system, arrival=args.arrival,
+        priority=args.priority, executors=args.executors,
+        min_executors=args.min_executors,
+        max_executors=args.max_executors, steps=args.steps,
+        n_rows=args.rows, n_features=args.features,
+        nnz_per_row=args.nnz_per_row, data_seed=args.data_seed,
+        loss=args.loss, l2=args.l2, learning_rate=args.learning_rate,
+        lr_schedule=args.schedule, batch_fraction=args.batch_fraction,
+        local_chunk_size=args.chunk_size, eval_every=args.eval_every,
+        seed=args.seed))
+    _sched_save_queue(queue, specs)
+    print(f"queued {args.name} ({len(specs)} job(s) in {queue})")
+    return 0
+
+
+def cmd_sched_list(args) -> int:
+    specs = _sched_load_queue(_sched_queue_path(args))
+    if not specs:
+        print("queue is empty")
+        return 0
+    print(format_table(
+        ["job", "system", "arrival", "prio", "width", "steps", "rows",
+         "features"],
+        [[s.name, s.system, round(s.arrival, 4), s.priority,
+          (f"{s.width_range[0]}-{s.width_range[1]}" if s.elastic
+           else str(s.executors)), s.steps, s.n_rows, s.n_features]
+         for s in specs],
+        title=f"{len(specs)} queued job(s)"))
+    return 0
+
+
+def cmd_sched_status(args) -> int:
+    queue = _sched_queue_path(args)
+    status = _sched_status_path(queue)
+    if not status.exists():
+        print("no run recorded for this queue yet; queued jobs:")
+        return cmd_sched_list(args)
+    payload = json.loads(status.read_text(encoding="ascii"))
+    summaries = payload["jobs"]
+    if args.name is not None:
+        summaries = [s for s in summaries if s["name"] == args.name]
+        if not summaries:
+            print(f"error: no job named {args.name!r} in the last run",
+                  file=sys.stderr)
+            return 1
+    print(format_table(_SCHED_JOB_HEADERS, _sched_job_rows(summaries),
+                       title=f"last run ({payload['config']['policy']}, "
+                             f"digest {payload['log_digest'][:16]})"))
+    return 0
+
+
+def cmd_sched_cancel(args) -> int:
+    queue = _sched_queue_path(args)
+    specs = _sched_load_queue(queue)
+    kept = [spec for spec in specs if spec.name != args.name]
+    if len(kept) == len(specs):
+        print(f"error: no queued job named {args.name!r}", file=sys.stderr)
+        return 1
+    _sched_save_queue(queue, kept)
+    print(f"cancelled {args.name} ({len(kept)} job(s) remain)")
+    return 0
+
+
+def cmd_sched_run(args) -> int:
+    queue = _sched_queue_path(args)
+    specs = _sched_load_queue(queue)
+    if not specs:
+        print("error: queue is empty", file=sys.stderr)
+        return 1
+    return _sched_play(args, specs, queue)
+
+
+def cmd_sched_run_trace(args) -> int:
+    specs = poisson_job_trace(rate=args.rate, duration=args.duration,
+                              seed=args.trace_seed, system=args.system,
+                              elastic=args.elastic_jobs,
+                              max_width=args.max_width)
+    if not specs:
+        print("error: trace window produced no arrivals; raise --rate "
+              "or --duration", file=sys.stderr)
+        return 1
+    print(f"generated {len(specs)} job(s) "
+          f"(rate {args.rate}/s over {args.duration}s, "
+          f"seed {args.trace_seed})")
+    return _sched_play(args, specs, None)
+
+
+SCHED_COMMANDS = {
+    "submit": cmd_sched_submit,
+    "list": cmd_sched_list,
+    "status": cmd_sched_status,
+    "cancel": cmd_sched_cancel,
+    "run": cmd_sched_run,
+    "run-trace": cmd_sched_run_trace,
+}
+
+
+def cmd_sched(args) -> int:
+    return SCHED_COMMANDS[args.sched_command](args)
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "train": cmd_train,
@@ -744,6 +1069,7 @@ COMMANDS = {
     "models": cmd_models,
     "serve-bench": cmd_serve_bench,
     "perf": cmd_perf,
+    "sched": cmd_sched,
 }
 
 

@@ -140,6 +140,19 @@ class FailureModel:
         """Multiplicative factor on network transfer times at ``step``."""
         return 1.0
 
+    def validate_executors(self, num_executors: int) -> None:
+        """Reject scripted events that can never fire on this cluster.
+
+        The engines consult ``crash_event`` per *existing* executor, so a
+        schedule like ``"9@3"`` on an 8-executor cluster used to be
+        silently inert — the scripted crash just never happened and the
+        bench measured a failure-free run.  Models carrying explicit
+        events override this to raise :class:`ValueError` instead;
+        sampled/empty models have nothing to check.
+        """
+        if num_executors < 1:
+            raise ValueError("cluster must have at least one executor")
+
 
 class NoFailures(FailureModel):
     """The default: nothing ever fails (pre-fault-injection behaviour)."""
@@ -212,6 +225,16 @@ class ScheduledFailures(FailureModel):
                 factor *= episode.factor
         return factor
 
+    def validate_executors(self, num_executors: int) -> None:
+        super().validate_executors(num_executors)
+        for event in self.events:
+            if event.executor >= num_executors:
+                raise ValueError(
+                    f"failure schedule targets executor {event.executor} "
+                    f"at step {event.step}, but the cluster has only "
+                    f"{num_executors} executors (indices 0.."
+                    f"{num_executors - 1}); the event could never fire")
+
 
 class CompositeFailures(FailureModel):
     """Union of several failure models (first crash wins; slowdowns stack)."""
@@ -232,6 +255,10 @@ class CompositeFailures(FailureModel):
         for model in self.models:
             factor *= model.network_slowdown(step)
         return factor
+
+    def validate_executors(self, num_executors: int) -> None:
+        for model in self.models:
+            model.validate_executors(num_executors)
 
 
 @dataclass(frozen=True)
@@ -324,8 +351,16 @@ def parse_failure_schedule(spec: str) -> list[FailureEvent]:
 
 
 def build_failure_model(rate: float = 0.0, schedule: str | None = None,
-                        seed: int = 0) -> FailureModel:
-    """Compose a failure model from trainer-config primitives."""
+                        seed: int = 0,
+                        num_executors: int | None = None) -> FailureModel:
+    """Compose a failure model from trainer-config primitives.
+
+    ``num_executors`` (when known at build time) validates scripted
+    events against the cluster size immediately — a schedule targeting a
+    nonexistent executor raises :class:`ValueError` here rather than
+    being silently inert.  The engines re-validate at setup regardless,
+    covering models constructed directly.
+    """
     models: list[FailureModel] = []
     if schedule:
         models.append(ScheduledFailures(parse_failure_schedule(schedule)))
@@ -333,6 +368,7 @@ def build_failure_model(rate: float = 0.0, schedule: str | None = None,
         models.append(RandomFailures(rate=rate, seed=seed))
     if not models:
         return NoFailures()
-    if len(models) == 1:
-        return models[0]
-    return CompositeFailures(models)
+    model = models[0] if len(models) == 1 else CompositeFailures(models)
+    if num_executors is not None:
+        model.validate_executors(num_executors)
+    return model

@@ -6,11 +6,11 @@ from .mllib import MLlibTrainer
 from .mllib_ma import MLlibModelAveragingTrainer
 from .mllib_star import MLlibStarTrainer
 from .spark_ml import SparkMlStarTrainer, SparkMlTrainer
-from .trainer import DistributedTrainer, TrainResult
+from .trainer import DistributedTrainer, TrainingSession, TrainResult
 
 __all__ = [
     "TrainerConfig",
-    "DistributedTrainer", "TrainResult",
+    "DistributedTrainer", "TrainingSession", "TrainResult",
     "MLlibTrainer", "MLlibModelAveragingTrainer", "MLlibStarTrainer",
     "SparkMlTrainer", "SparkMlStarTrainer",
     "send_model_update",

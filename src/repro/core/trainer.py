@@ -15,6 +15,14 @@ Subclasses implement :meth:`_prepare` (engine/state construction) and
 :meth:`_run_step` (one communication step: local work + communication,
 returning the new global model).  Objective evaluation is monitoring and
 costs no simulated time.
+
+The loop itself lives in :class:`TrainingSession`, a resumable stepwise
+view of a run: :meth:`DistributedTrainer.open_session` builds one,
+``run_step()`` advances it a single superstep, and :meth:`fit` is just a
+session drained to completion — so a run paused at a barrier and resumed
+(what the :mod:`repro.sched` cluster scheduler does to interleave jobs
+and change executor counts) executes the exact same operations as an
+uninterrupted ``fit``.
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ from ..metrics import TrainingHistory
 from ..perf.profiler import NullProfiler, PhaseProfiler
 from .config import TrainerConfig
 
-__all__ = ["TrainResult", "DistributedTrainer"]
+__all__ = ["TrainResult", "TrainingSession", "DistributedTrainer"]
 
 
 @dataclass(frozen=True)
@@ -103,10 +111,12 @@ class DistributedTrainer:
                                      self.config.learning_rate)
         #: Fault-injection model and recovery policy derived from the
         #: config; engines consult them so failures stretch the simulated
-        #: clock without ever touching the numerics.
-        self.faults = build_failure_model(self.config.failure_rate,
-                                          self.config.failure_schedule,
-                                          self.config.seed)
+        #: clock without ever touching the numerics.  Validated against
+        #: the cluster size here: a scripted crash aimed at an executor
+        #: the cluster does not have raises instead of never firing.
+        self.faults = build_failure_model(
+            self.config.failure_rate, self.config.failure_schedule,
+            self.config.seed, num_executors=cluster.num_executors)
         self.recovery = RecoveryPolicy(
             max_retries=self.config.max_retries,
             strategy=self.config.recovery_strategy,
@@ -203,6 +213,45 @@ class DistributedTrainer:
                 + cm.dense_op_seconds(dense_ops, node))
 
     # ------------------------------------------------------------------
+    def open_session(self, dataset: SparseDataset,
+                     partition_strategy: str = "random",
+                     initial_weights: np.ndarray | None = None, *,
+                     start_step: int = 0,
+                     history: TrainingHistory | None = None,
+                     clock_offset: float = 0.0) -> "TrainingSession":
+        """Partition ``dataset``, build the backend, and open a stepwise
+        :class:`TrainingSession`.
+
+        The keyword-only parameters exist for *resumed* runs (the
+        :mod:`repro.sched` elastic scheduler re-opens a job at a new
+        executor width from its barrier state): ``start_step`` continues
+        absolute step numbering (so learning-rate schedules see the same
+        step indices as an uninterrupted run), ``history`` carries the
+        earlier segments' convergence points, and ``clock_offset`` is the
+        simulated seconds already consumed — the fresh engine's clock is
+        reported relative to it.  Defaults describe a run from scratch.
+        """
+        data = PartitionedDataset.load(dataset, self.cluster,
+                                       strategy=partition_strategy,
+                                       seed=self.config.seed)
+        # Build the local-solve execution pool for this run.  Partitions
+        # are installed exactly once (pickle-once for process pools); the
+        # pool is torn down by ``TrainingSession.close``, leaving a
+        # serial stub so post-fit introspection keeps working.
+        self._backend = make_backend(self.config.backend)
+        self._backend.profiler = self.profiler
+        self._backend.install_partitions(data.partitions)
+        try:
+            return TrainingSession(self, dataset, data, initial_weights,
+                                   start_step=start_step, history=history,
+                                   clock_offset=clock_offset)
+        except BaseException:
+            self._backend.close()
+            stub = SerialBackend()
+            stub.install_partitions(data.partitions)
+            self._backend = stub
+            raise
+
     def fit(self, dataset: SparseDataset,
             partition_strategy: str = "random",
             initial_weights: np.ndarray | None = None) -> TrainResult:
@@ -212,29 +261,59 @@ class DistributedTrainer:
         ``previous_result.model.weights``) instead of the zero vector —
         Algorithm 2's ``InitialModel(w0)`` with a non-trivial ``w0``.
         """
-        data = PartitionedDataset.load(dataset, self.cluster,
-                                       strategy=partition_strategy,
-                                       seed=self.config.seed)
-        # Build the local-solve execution pool for this run.  Partitions
-        # are installed exactly once (pickle-once for process pools); the
-        # pool is torn down in the ``finally`` below, leaving a serial
-        # stub so post-fit introspection keeps working.
-        self._backend = make_backend(self.config.backend)
-        self._backend.profiler = self.profiler
-        self._backend.install_partitions(data.partitions)
+        session = self.open_session(dataset, partition_strategy,
+                                    initial_weights)
         try:
-            return self._fit_prepared(dataset, data, initial_weights)
+            while not session.finished:
+                session.run_step()
+            return session.result()
         finally:
-            self._backend.close()
-            stub = SerialBackend()
-            stub.install_partitions(data.partitions)
-            self._backend = stub
+            session.close()
 
-    def _fit_prepared(self, dataset: SparseDataset, data: PartitionedDataset,
-                      initial_weights: np.ndarray | None) -> TrainResult:
-        """The training loop proper (backend lifecycle handled by fit)."""
-        self._prepare(data)
 
+class TrainingSession:
+    """One training run, advanced a superstep at a time.
+
+    A session pauses at every superstep barrier: ``run_step()`` executes
+    exactly one communication step (plus the checkpoint/eval bookkeeping
+    the ``fit`` loop would do there) and returns.  Draining a session is
+    *the* ``fit`` implementation — not a reimplementation of it — so a
+    run interleaved with other jobs by the cluster scheduler performs the
+    identical operation sequence, and fixed-width scheduled runs are
+    bit-identical to standalone ones by construction.
+
+    Sessions are created by :meth:`DistributedTrainer.open_session`; see
+    its docstring for the resume parameters (``start_step`` / ``history``
+    / ``clock_offset``).  ``close()`` tears down the execution backend;
+    the owner must call it (``fit`` does so in a ``finally``).
+    """
+
+    def __init__(self, trainer: DistributedTrainer, dataset: SparseDataset,
+                 data: PartitionedDataset,
+                 initial_weights: np.ndarray | None, *,
+                 start_step: int = 0,
+                 history: TrainingHistory | None = None,
+                 clock_offset: float = 0.0) -> None:
+        config = trainer.config
+        if not 0 <= start_step <= config.max_steps:
+            raise ValueError(
+                f"start_step must be in [0, max_steps={config.max_steps}]; "
+                f"got {start_step}")
+        if clock_offset < 0:
+            raise ValueError("clock_offset must be non-negative")
+        if start_step > 0 and initial_weights is None:
+            raise ValueError("resuming from a nonzero step needs the "
+                             "barrier weights to resume from")
+        self.trainer = trainer
+        self.dataset = dataset
+        self.data = data
+        self.clock_offset = clock_offset
+        self.step = start_step
+        self.converged = False
+        self.diverged = False
+        self._closed = False
+
+        trainer._prepare(data)
         if initial_weights is None:
             w = np.zeros(dataset.n_features)
         else:
@@ -246,43 +325,83 @@ class DistributedTrainer:
         # Under --sanitize the model handed to workers is read-only; any
         # in-place mutation of broadcast state raises at the faulting
         # line instead of silently coupling workers.
-        w = self.sanitizer.freeze(w)
-        self.sanitizer.record_barrier(0, w)
-        self._on_initial_model(w, data)
-        history = TrainingHistory(system=self.system, dataset=dataset.name,
-                                  detail=self.objective.describe())
-        with self.profiler.phase("evaluate"):
-            objective_value = self.objective.value(w, dataset.X, dataset.y)
-        history.record(0, self._clock(), objective_value)
+        w = trainer.sanitizer.freeze(w)
+        trainer.sanitizer.record_barrier(start_step, w)
+        trainer._on_initial_model(w, data)
+        self.w = w
+        if history is None:
+            history = TrainingHistory(system=trainer.system,
+                                      dataset=dataset.name,
+                                      detail=trainer.objective.describe())
+        self.history = history
+        if start_step == 0:
+            with trainer.profiler.phase("evaluate"):
+                objective_value = trainer.objective.value(w, dataset.X,
+                                                          dataset.y)
+            history.record(0, self.clock(), objective_value)
 
-        converged = False
-        diverged = False
-        for step in range(1, self.config.max_steps + 1):
-            with self.profiler.phase("superstep"):
-                w = self._run_step(step, w, data)
-            w = self.sanitizer.freeze(w)
-            self.sanitizer.record_barrier(step, w)
-            is_last = step == self.config.max_steps
-            if (self.recovery.writes_checkpoints and not is_last
-                    and step % self.recovery.checkpoint_every == 0):
-                self._checkpoint_phase(step, dataset.n_features)
-            if step % self.config.eval_every and not is_last:
-                continue
-            with self.profiler.phase("evaluate"):
-                objective_value = self.objective.value(w, dataset.X,
-                                                       dataset.y)
-            history.record(step, self._clock(), objective_value)
-            if (not math.isfinite(objective_value)
-                    or objective_value > self.config.divergence_limit):
-                diverged = True
-                break
-            threshold = self.config.stop_threshold
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once the step cap, convergence, or divergence is hit."""
+        return (self.converged or self.diverged
+                or self.step >= self.trainer.config.max_steps)
+
+    def clock(self) -> float:
+        """Job-relative simulated time (earlier segments included)."""
+        return self.clock_offset + self.trainer._clock()
+
+    def run_step(self) -> int:
+        """Advance one superstep; returns the (absolute) step executed."""
+        if self._closed:
+            raise RuntimeError("training session is closed")
+        if self.finished:
+            raise RuntimeError("training session already finished")
+        trainer = self.trainer
+        config = trainer.config
+        step = self.step + 1
+        with trainer.profiler.phase("superstep"):
+            w = trainer._run_step(step, self.w, self.data)
+        w = trainer.sanitizer.freeze(w)
+        trainer.sanitizer.record_barrier(step, w)
+        self.w = w
+        self.step = step
+        is_last = step == config.max_steps
+        if (trainer.recovery.writes_checkpoints and not is_last
+                and step % trainer.recovery.checkpoint_every == 0):
+            trainer._checkpoint_phase(step, self.dataset.n_features)
+        if step % config.eval_every and not is_last:
+            return step
+        with trainer.profiler.phase("evaluate"):
+            objective_value = trainer.objective.value(w, self.dataset.X,
+                                                      self.dataset.y)
+        self.history.record(step, self.clock(), objective_value)
+        if (not math.isfinite(objective_value)
+                or objective_value > config.divergence_limit):
+            self.diverged = True
+        else:
+            threshold = config.stop_threshold
             if threshold is not None and objective_value <= threshold:
-                converged = True
-                break
+                self.converged = True
+        return step
 
-        model = GLMModel(weights=w, objective=self.objective)
-        return TrainResult(model=model, history=history, trace=self._trace(),
-                           converged=converged, diverged=diverged,
-                           failures=tuple(self._failures()),
-                           comm=tuple(self._comm_records()))
+    def result(self) -> TrainResult:
+        """Package the session's current state as a :class:`TrainResult`."""
+        trainer = self.trainer
+        model = GLMModel(weights=self.w, objective=trainer.objective)
+        return TrainResult(model=model, history=self.history,
+                           trace=trainer._trace(),
+                           converged=self.converged, diverged=self.diverged,
+                           failures=tuple(trainer._failures()),
+                           comm=tuple(trainer._comm_records()))
+
+    def close(self) -> None:
+        """Tear down the execution backend (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        trainer = self.trainer
+        trainer._backend.close()
+        stub = SerialBackend()
+        stub.install_partitions(self.data.partitions)
+        trainer._backend = stub

@@ -135,6 +135,10 @@ class BspEngine:
         self.broadcast = broadcast if broadcast is not None else BroadcastModel()
         self.shuffle = ShuffleModel()
         self.faults = faults if faults is not None else NoFailures()
+        # Fail fast on failure scripts that could never fire: an event
+        # targeting an executor index outside this cluster is a scenario
+        # mistake, not a failure-free run.
+        self.faults.validate_executors(cluster.num_executors)
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         #: Materialized crashes, in simulated-time order.
         self.failures: list[FailureRecord] = []

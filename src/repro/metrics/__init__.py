@@ -9,9 +9,10 @@ from .gantt import KIND_CHARS, GanttSummary, render_ascii, summarize
 from .histogram import LatencyHistogram
 from .history import HistoryPoint, TrainingHistory
 from .plots import CURVE_GLYPHS, render_curves
-from .reporting import (CommReport, RecoveryReport, ServingReport,
-                        comm_report, format_speedup, format_table,
-                        recovery_report, serving_report)
+from .reporting import (CommReport, RecoveryReport, SchedReport,
+                        ServingReport, comm_report, format_speedup,
+                        format_table, recovery_report, sched_report,
+                        serving_report)
 
 __all__ = [
     "TrainingHistory", "HistoryPoint",
@@ -21,6 +22,7 @@ __all__ = [
     "format_table", "format_speedup", "CommReport", "comm_report",
     "RecoveryReport", "recovery_report",
     "LatencyHistogram", "ServingReport", "serving_report",
+    "SchedReport", "sched_report",
     "history_to_rows", "write_history_csv", "write_histories_json",
     "write_trace_csv",
     "render_curves", "CURVE_GLYPHS",

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 __all__ = ["format_table", "format_speedup", "CommReport", "comm_report",
            "RecoveryReport", "recovery_report", "ServingReport",
-           "serving_report"]
+           "serving_report", "SchedReport", "sched_report"]
 
 
 def format_table(headers: list[str], rows: list[list[object]],
@@ -249,3 +249,86 @@ def serving_report(result) -> ServingReport:
         disagreements=None if shadow is None else shadow.disagreements,
         shadow_rows=None if shadow is None else shadow.rows,
         shadow_p99=None if shadow is None else shadow.p99)
+
+
+@dataclass(frozen=True)
+class SchedReport:
+    """Cluster-scheduler run summary (``repro sched run`` / the bench).
+
+    Goodput counts completed training supersteps per global simulated
+    second — the scheduler-level analog of a single run's steps/second,
+    summed over every job the pool multiplexed.  Utilization is the
+    share of executor-seconds the pool spent actually held by jobs
+    (compute, re-partition, and checkpoint time all count; idle and
+    fragmentation losses do not).
+    """
+
+    policy: str
+    jobs: int
+    finished: int
+    preemptions: int
+    resizes: int
+    makespan: float
+    total_executors: int
+    total_steps: int
+    goodput: float
+    utilization: float
+    mean_queue_wait: float
+    max_queue_wait: float
+    jct_p50: float
+    jct_p95: float
+
+    HEADERS = ["policy", "jobs", "done", "preempt", "resize", "makespan",
+               "goodput", "util", "wait mean", "jct p50", "jct p95"]
+
+    def row(self) -> list[object]:
+        return [self.policy, self.jobs, self.finished, self.preemptions,
+                self.resizes, round(self.makespan, 4),
+                round(self.goodput, 2), f"{self.utilization:.1%}",
+                round(self.mean_queue_wait, 4),
+                round(self.jct_p50, 4), round(self.jct_p95, 4)]
+
+    def describe(self) -> str:
+        return "\n".join([
+            f"policy {self.policy}: {self.finished}/{self.jobs} jobs "
+            f"finished, {self.preemptions} preemptions, "
+            f"{self.resizes} resizes",
+            f"makespan {self.makespan:.4f}s on {self.total_executors} "
+            f"executors, goodput {self.goodput:.2f} steps/s, "
+            f"utilization {self.utilization:.1%}",
+            f"queue wait mean {self.mean_queue_wait:.4f}s "
+            f"max {self.max_queue_wait:.4f}s; "
+            f"JCT p50 {self.jct_p50:.4f}s p95 {self.jct_p95:.4f}s",
+        ])
+
+
+def sched_report(result) -> SchedReport:
+    """Summarize a ``SchedResult`` (duck-typed, like ``serving_report``)."""
+    from .histogram import LatencyHistogram
+
+    jobs = [j for j in result.jobs if j.state != "cancelled"]
+    finished = [j for j in jobs if j.state == "finished"]
+    makespan = result.makespan
+    total_steps = sum(j.steps_done for j in jobs)
+    held = sum(j.executor_seconds for j in jobs)
+    capacity = result.config.total_executors * makespan
+    waits = [j.queue_wait for j in jobs]
+    hist = LatencyHistogram()
+    for job in finished:
+        hist.record(max(job.jct, 1.0e-9))
+    summary = hist.summary() if finished else {}
+    return SchedReport(
+        policy=result.config.policy,
+        jobs=len(jobs),
+        finished=len(finished),
+        preemptions=sum(j.preemptions for j in jobs),
+        resizes=sum(j.resizes for j in jobs),
+        makespan=makespan,
+        total_executors=result.config.total_executors,
+        total_steps=total_steps,
+        goodput=total_steps / makespan if makespan > 0 else 0.0,
+        utilization=held / capacity if capacity > 0 else 0.0,
+        mean_queue_wait=sum(waits) / len(waits) if waits else 0.0,
+        max_queue_wait=max(waits, default=0.0),
+        jct_p50=summary.get("p50", 0.0),
+        jct_p95=summary.get("p95", 0.0))

@@ -85,6 +85,9 @@ class PsEngine:
             raise ValueError("need at least one server shard")
         self.controller = controller if controller is not None else BSP()
         self.faults = faults if faults is not None else NoFailures()
+        # Same guard as BspEngine: scripted crashes aimed at workers this
+        # cluster does not have raise instead of never firing.
+        self.faults.validate_executors(self.num_workers)
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         #: Materialized crashes, in simulated-time order.
         self.failures: list[FailureRecord] = []

@@ -1,0 +1,58 @@
+"""Append-only schedule log with a byte-identity contract.
+
+Every scheduler decision — submit, admit, resize, preempt, resume,
+finish — appends one formatted line here.  The log is the scheduler's
+determinism witness: running the same :class:`SchedConfig` over the same
+arrival trace twice must produce **byte-identical** ``text()`` (and so
+equal ``digest()``), which the property tests and the bench's replay
+gate assert before any goodput number is reported.
+
+To make that contract meaningful the formatting is fixed: times are
+rendered with ``repr(float(...))`` (shortest round-trip form, no locale,
+no precision truncation that could mask drift) and extra fields are
+emitted in the caller-supplied keyword order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["SchedLog"]
+
+
+class SchedLog:
+    """Ordered record of scheduler events for one run."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+
+    def event(self, time: float, kind: str, job: str, **fields) -> None:
+        """Append one event line.
+
+        ``fields`` values are rendered with ``repr`` (floats keep their
+        shortest round-trip form, so a single bit of clock drift between
+        two runs changes the line and fails the replay gate).
+        """
+        parts = [f"t={float(time)!r}", kind, f"job={job}"]
+        for key, value in fields.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value!r}")
+            else:
+                parts.append(f"{key}={value}")
+        self._lines.append(" ".join(parts))
+
+    def lines(self) -> tuple[str, ...]:
+        return tuple(self._lines)
+
+    def text(self) -> str:
+        """The full log, one event per line, trailing newline included."""
+        if not self._lines:
+            return ""
+        return "\n".join(self._lines) + "\n"
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`text` — the replay-identity fingerprint."""
+        return hashlib.sha256(self.text().encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._lines)

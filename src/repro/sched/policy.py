@@ -1,0 +1,151 @@
+"""Scheduling policies: admission order, fair shares, preemption choice.
+
+Every ``dispatch_*`` function here is a **pure module-level function of
+its arguments** — no clock, no RNG, no mutation of anything that
+outlives the call.  That is a lint-enforced contract, not a convention:
+these functions are roots of the RACE001 shared-state rule and inside
+the DET002 unordered-iteration scope (see :mod:`repro.analysis.rules`),
+the same discipline backend task functions follow.  Purity is what makes
+the scheduler's determinism contract checkable — the schedule is a fold
+of these functions over the event sequence, so same trace + same seed
+replays to a byte-identical schedule log.
+
+Jobs cross the boundary as :class:`JobView` tuples (plain data), never
+as live ``Job`` objects, so a policy physically cannot flip job state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Sequence
+
+__all__ = ["JobView", "dispatch_order", "dispatch_fair_shares",
+           "dispatch_admission_width", "dispatch_preemption_victim"]
+
+
+class JobView(NamedTuple):
+    """The slice of job state a policy decision is allowed to see."""
+
+    name: str
+    priority: int
+    arrival: float
+    seq: int
+    width: int       # currently held executors (0 while queued)
+    min_width: int
+    max_width: int
+
+
+def dispatch_order(policy: str, jobs: Sequence[JobView]) -> tuple[int, ...]:
+    """Indices of ``jobs`` in admission-scan order.
+
+    ``fifo`` scans strictly by arrival (submission sequence breaks
+    ties); ``fair`` scans by descending priority weight first, so a
+    heavier job starved behind a wide gang is considered before lighter
+    jobs that arrived earlier.  Both orders are total and deterministic.
+    """
+    if policy == "fifo":
+        keys = sorted(range(len(jobs)),
+                      key=lambda i: (jobs[i].arrival, jobs[i].seq))
+    elif policy == "fair":
+        keys = sorted(range(len(jobs)),
+                      key=lambda i: (-jobs[i].priority, jobs[i].arrival,
+                                     jobs[i].seq))
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    return tuple(keys)
+
+
+def dispatch_fair_shares(total: int,
+                         jobs: Sequence[JobView]) -> dict[str, int]:
+    """Weighted fair executor shares, clipped to each job's width range.
+
+    Ideal share of job ``j`` is ``total * priority_j / sum(priorities)``.
+    Integerized by largest remainder, then clamped into
+    ``[min_width, max_width]``; slack freed by clamping is handed out one
+    executor at a time to the heaviest (then earliest-arrived) job still
+    under its cap, and any deficit is taken from the lightest (then
+    latest-arrived) job still above its floor.  Deterministic: every
+    tie-break ends at the submission sequence number.
+    """
+    if total < 1:
+        raise ValueError("total must be at least 1")
+    if not jobs:
+        return {}
+    weight = float(sum(j.priority for j in jobs))
+    raw = [total * j.priority / weight for j in jobs]
+    shares = [int(math.floor(r)) for r in raw]
+    leftover = total - sum(shares)
+    by_remainder = sorted(
+        range(len(jobs)),
+        key=lambda i: (-(raw[i] - shares[i]), jobs[i].arrival, jobs[i].seq))
+    for i in by_remainder[:leftover]:
+        shares[i] += 1
+    shares = [min(max(s, j.min_width), j.max_width)
+              for s, j in zip(shares, jobs)]
+    # Clamping can leave slack (sum < total) or overshoot (sum > total);
+    # settle both deterministically.
+    order_give = sorted(range(len(jobs)),
+                        key=lambda i: (-jobs[i].priority, jobs[i].arrival,
+                                       jobs[i].seq))
+    order_take = sorted(range(len(jobs)),
+                        key=lambda i: (jobs[i].priority, -jobs[i].arrival,
+                                       -jobs[i].seq))
+    slack = total - sum(shares)
+    while slack > 0:
+        for i in order_give:
+            if shares[i] < jobs[i].max_width:
+                shares[i] += 1
+                slack -= 1
+                break
+        else:
+            break  # everyone at cap; leave the rest idle
+    while slack < 0:
+        for i in order_take:
+            if shares[i] > jobs[i].min_width:
+                shares[i] -= 1
+                slack += 1
+                break
+        else:
+            break  # every floor binding; admission control failed earlier
+    return {j.name: s for j, s in zip(jobs, shares)}
+
+
+def dispatch_admission_width(job: JobView, target: int,
+                             largest_free: int) -> int:
+    """Width to admit ``job`` at, or 0 when it cannot be admitted.
+
+    ``target`` is the policy's desired width (its fair share, or simply
+    its requested width under FIFO); the grant is the target clamped
+    into the job's width range and capped by the largest free contiguous
+    block.  A job that cannot get even ``min_width`` contiguously is not
+    admitted — gangs are all-or-nothing.
+    """
+    want = min(max(target, job.min_width), job.max_width)
+    width = min(want, largest_free)
+    if width < job.min_width:
+        return 0
+    return width
+
+
+def dispatch_preemption_victim(candidate: JobView,
+                               running: Sequence[JobView]) -> int | None:
+    """Index of the running job to preempt for ``candidate``, or None.
+
+    The victim is the *strictly* lighter-priority running job with the
+    lowest weight, breaking ties toward the latest-arrived (least sunk
+    work, deterministically by submission sequence).  Equal priority is
+    never preempted — that would let two equal jobs preempt each other
+    forever.
+    """
+    best: int | None = None
+    for i, job in enumerate(running):
+        if job.priority >= candidate.priority:
+            continue
+        if best is None:
+            best = i
+            continue
+        champ = running[best]
+        if (job.priority, -job.arrival, -job.seq) < (
+                champ.priority, -champ.arrival, -champ.seq):
+            best = i
+    return best

@@ -1,0 +1,169 @@
+"""Gang placement over the shared executor pool.
+
+The scheduler grants each running job one *contiguous block* of executor
+slots — gang scheduling: all-or-nothing, so a BSP job never runs with
+half its workers (a half-granted gang would just barrier-wait on slots
+it does not have).  Contiguity mirrors ``tiered_cluster`` placement:
+executors ``[start, start + k)`` are the machine-block neighbours a
+tiered network model would co-locate, and it makes fragmentation — the
+classic gang-scheduling failure mode the benches show FIFO suffering
+from — an honest part of the simulation.
+
+Allocation is deterministic first-fit at the lowest start index; resizes
+prefer growing in place (extending the block upward) and otherwise
+relocate to the first fit.  Relocation costs nothing here — the priced
+cost of any width change is the re-partition step the *job* pays at its
+barrier (see ``scheduler.py``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ExecutorPool"]
+
+
+class ExecutorPool:
+    """Tracks which job owns each executor slot of the shared cluster."""
+
+    def __init__(self, total: int) -> None:
+        if total < 1:
+            raise ValueError("pool needs at least one executor")
+        self.total = total
+        self._owner: list[str | None] = [None] * total
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return sum(1 for owner in self._owner if owner is None)
+
+    def owner_of(self, slot: int) -> str | None:
+        return self._owner[slot]
+
+    def block_of(self, job: str) -> tuple[int, int] | None:
+        """The contiguous block owned by ``job`` (None if it holds none)."""
+        start = None
+        end = None
+        for i, owner in enumerate(self._owner):
+            if owner == job:
+                if start is None:
+                    start = i
+                end = i + 1
+            elif start is not None and owner != job:
+                break
+        if start is None:
+            return None
+        return (start, end)
+
+    def free_blocks(self) -> list[tuple[int, int]]:
+        """Maximal free runs as ``(start, end)`` pairs, ascending."""
+        blocks: list[tuple[int, int]] = []
+        start = None
+        for i, owner in enumerate(self._owner):
+            if owner is None:
+                if start is None:
+                    start = i
+            elif start is not None:
+                blocks.append((start, i))
+                start = None
+        if start is not None:
+            blocks.append((start, self.total))
+        return blocks
+
+    def largest_free_block(self) -> int:
+        """Width of the largest contiguous free run (0 when full)."""
+        return max((end - start for start, end in self.free_blocks()),
+                   default=0)
+
+    def max_resize_width(self, job: str) -> int:
+        """Widest gang ``job`` could hold after a resize.
+
+        The longest run of slots that are free *or already the job's own*
+        — exactly what :meth:`resize` can reach, since it releases the
+        job's block before first-fitting the new width.
+        """
+        best = 0
+        run = 0
+        for owner in self._owner:
+            if owner is None or owner == job:
+                run += 1
+                if run > best:
+                    best = run
+            else:
+                run = 0
+        return best
+
+    def find_block(self, width: int) -> int | None:
+        """First-fit start index for a ``width`` gang, or None."""
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        for start, end in self.free_blocks():
+            if end - start >= width:
+                return start
+        return None
+
+    # ------------------------------------------------------------------
+    def allocate(self, job: str, width: int) -> tuple[int, int]:
+        """Grant ``job`` the first free ``width``-wide block."""
+        if self.block_of(job) is not None:
+            raise ValueError(f"job {job!r} already holds a block")
+        start = self.find_block(width)
+        if start is None:
+            raise ValueError(
+                f"no contiguous block of {width} executors free "
+                f"(largest free run: {self.largest_free_block()})")
+        for i in range(start, start + width):
+            self._owner[i] = job
+        return (start, start + width)
+
+    def release(self, job: str) -> None:
+        """Return every slot ``job`` holds to the free pool."""
+        held = [i for i, owner in enumerate(self._owner) if owner == job]
+        if not held:
+            raise ValueError(f"job {job!r} holds no executors")
+        for i in held:
+            self._owner[i] = None
+
+    def resize(self, job: str, new_width: int) -> tuple[int, int]:
+        """Change ``job``'s gang to ``new_width`` slots.
+
+        Shrinks trim the block's top end in place.  Grows extend in
+        place when the slots above are free, otherwise relocate to the
+        first block wide enough (the job's slots are freed first, so its
+        own room counts).  Raises :class:`ValueError` when no placement
+        of the new width exists; the caller keeps the old width.
+        """
+        block = self.block_of(job)
+        if block is None:
+            raise ValueError(f"job {job!r} holds no executors")
+        start, end = block
+        width = end - start
+        if new_width == width:
+            return block
+        if new_width < 1:
+            raise ValueError("resize width must be at least 1; use "
+                             "release() for shrink-to-zero")
+        if new_width < width:
+            for i in range(start + new_width, end):
+                self._owner[i] = None
+            return (start, start + new_width)
+        grow_end = start + new_width
+        if grow_end <= self.total and all(
+                self._owner[i] in (None, job)
+                for i in range(end, grow_end)):
+            for i in range(end, grow_end):
+                self._owner[i] = job
+            return (start, grow_end)
+        # Relocate: free our slots, first-fit the wider gang, restoring
+        # the original block if nothing fits.
+        for i in range(start, end):
+            self._owner[i] = None
+        fit = self.find_block(new_width)
+        if fit is None:
+            for i in range(start, end):
+                self._owner[i] = job
+            raise ValueError(
+                f"no contiguous block of {new_width} executors available "
+                f"for job {job!r} (largest free run with its slots "
+                f"released: {self.largest_free_block()})")
+        for i in range(fit, fit + new_width):
+            self._owner[i] = job
+        return (fit, fit + new_width)

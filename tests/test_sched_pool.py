@@ -1,0 +1,127 @@
+"""ExecutorPool: deterministic first-fit gang placement and resizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched import ExecutorPool
+
+
+def test_pool_validates_size():
+    with pytest.raises(ValueError):
+        ExecutorPool(0)
+
+
+def test_allocate_is_first_fit_lowest_index():
+    pool = ExecutorPool(8)
+    assert pool.allocate("a", 3) == (0, 3)
+    assert pool.allocate("b", 2) == (3, 5)
+    assert pool.allocate("c", 3) == (5, 8)
+    assert pool.free_count == 0
+
+
+def test_allocate_skips_too_small_holes():
+    pool = ExecutorPool(8)
+    pool.allocate("a", 2)        # [0,2)
+    pool.allocate("b", 3)        # [2,5)
+    pool.release("a")            # hole [0,2)
+    assert pool.allocate("c", 3) == (5, 8)  # hole too small, goes high
+    assert pool.block_of("c") == (5, 8)
+
+
+def test_gang_is_all_or_nothing():
+    pool = ExecutorPool(8)
+    pool.allocate("a", 5)
+    with pytest.raises(ValueError, match="no contiguous block"):
+        pool.allocate("b", 4)
+    # 3 free slots exist, but never a partial grant
+    assert pool.free_count == 3
+    assert pool.block_of("b") is None
+
+
+def test_double_allocate_rejected():
+    pool = ExecutorPool(8)
+    pool.allocate("a", 2)
+    with pytest.raises(ValueError, match="already holds"):
+        pool.allocate("a", 2)
+
+
+def test_release_returns_slots_and_rejects_unknown():
+    pool = ExecutorPool(4)
+    pool.allocate("a", 4)
+    pool.release("a")
+    assert pool.free_count == 4
+    with pytest.raises(ValueError, match="holds no executors"):
+        pool.release("a")
+
+
+def test_free_blocks_and_largest():
+    pool = ExecutorPool(10)
+    pool.allocate("a", 2)        # [0,2)
+    pool.allocate("b", 3)        # [2,5)
+    pool.allocate("c", 2)        # [5,7)
+    pool.release("b")
+    assert pool.free_blocks() == [(2, 5), (7, 10)]
+    assert pool.largest_free_block() == 3
+    pool.release("a")
+    assert pool.free_blocks() == [(0, 5), (7, 10)]
+    assert pool.largest_free_block() == 5
+
+
+def test_resize_shrink_trims_top_in_place():
+    pool = ExecutorPool(8)
+    pool.allocate("a", 6)
+    assert pool.resize("a", 3) == (0, 3)
+    assert pool.block_of("a") == (0, 3)
+    assert pool.free_blocks() == [(3, 8)]
+
+
+def test_resize_grow_in_place_when_room_above():
+    pool = ExecutorPool(8)
+    pool.allocate("a", 3)
+    assert pool.resize("a", 6) == (0, 6)
+
+
+def test_resize_grow_relocates_when_blocked_above():
+    pool = ExecutorPool(10)
+    pool.allocate("a", 2)        # [0,2)
+    pool.allocate("b", 2)        # [2,4)
+    # a cannot extend past b, but [4,10) fits a 5-wide gang
+    assert pool.resize("a", 5) == (4, 9)
+    assert pool.block_of("a") == (4, 9)
+    assert pool.owner_of(0) is None and pool.owner_of(1) is None
+
+
+def test_resize_relocation_counts_own_slots():
+    pool = ExecutorPool(6)
+    pool.allocate("a", 3)        # [0,3)
+    pool.allocate("b", 2)        # [3,5)
+    pool.release("b")
+    # grow to 5: in place [0,5) works because slots above are free
+    assert pool.resize("a", 5) == (0, 5)
+
+
+def test_resize_failure_restores_original_block():
+    pool = ExecutorPool(8)
+    pool.allocate("a", 3)        # [0,3)
+    pool.allocate("b", 2)        # [3,5)
+    pool.allocate("c", 3)        # [5,8)
+    with pytest.raises(ValueError, match="no contiguous block"):
+        pool.resize("a", 6)
+    assert pool.block_of("a") == (0, 3)  # untouched after the failure
+
+
+def test_resize_rejects_zero_width():
+    pool = ExecutorPool(4)
+    pool.allocate("a", 2)
+    with pytest.raises(ValueError, match="release"):
+        pool.resize("a", 0)
+
+
+def test_max_resize_width_counts_own_plus_free_run():
+    pool = ExecutorPool(10)
+    pool.allocate("a", 3)        # [0,3)
+    pool.allocate("b", 2)        # [3,5)
+    assert pool.max_resize_width("a") == 5  # own [0,3) + free [5,10) -> 5
+    pool.release("b")
+    assert pool.max_resize_width("a") == 10

@@ -1,0 +1,165 @@
+"""Property-based tests for the scheduler (hypothesis).
+
+Three families of invariants:
+
+* **Policy purity** — ``dispatch_order`` is a permutation and
+  ``dispatch_fair_shares`` always respects the pool size and per-job
+  width bounds, for arbitrary job mixes.
+* **Work conservation / no starvation** — every submitted job finishes
+  with its full step budget under any policy mix; nobody queues forever
+  while a large-enough block sits free.
+* **Deterministic replay** — the same config and job set produce a
+  byte-identical schedule log (and digest) every time.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (SCHED_POLICIES, ClusterScheduler, JobSpec, JobView,
+                         SchedConfig, dispatch_fair_shares, dispatch_order)
+
+POOL = 6
+
+
+@st.composite
+def job_views(draw, max_jobs=8):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    views = []
+    for seq in range(n):
+        lo = draw(st.integers(min_value=1, max_value=3))
+        hi = draw(st.integers(min_value=lo, max_value=POOL))
+        views.append(JobView(
+            name=f"j{seq}",
+            priority=draw(st.integers(min_value=1, max_value=5)),
+            arrival=draw(st.floats(min_value=0.0, max_value=1.0,
+                                   allow_nan=False)),
+            seq=seq,
+            width=0,
+            min_width=lo,
+            max_width=hi,
+        ))
+    return views
+
+
+@st.composite
+def job_specs(draw, max_jobs=4):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    specs = []
+    for i in range(n):
+        executors = draw(st.integers(min_value=1, max_value=4))
+        if draw(st.booleans()):
+            lo = draw(st.integers(min_value=1, max_value=executors))
+            hi = draw(st.integers(min_value=executors, max_value=POOL))
+        else:
+            lo = hi = executors
+        specs.append(JobSpec(
+            name=f"job-{i}",
+            arrival=round(draw(st.floats(min_value=0.0, max_value=0.01,
+                                         allow_nan=False)), 6),
+            priority=draw(st.integers(min_value=1, max_value=3)),
+            executors=executors,
+            min_executors=lo,
+            max_executors=hi,
+            steps=draw(st.integers(min_value=1, max_value=3)),
+            n_rows=48,
+            n_features=16,
+            data_seed=100 + i,
+        ))
+    return specs
+
+
+@st.composite
+def sched_configs(draw):
+    policy = draw(st.sampled_from(SCHED_POLICIES))
+    return SchedConfig(
+        policy=policy,
+        elastic=draw(st.booleans()),
+        preempt=(policy == "fair" and draw(st.booleans())),
+        total_executors=POOL,
+    )
+
+
+def run_schedule(config, specs):
+    scheduler = ClusterScheduler(config)
+    for spec in specs:
+        scheduler.submit(spec)
+    return scheduler.run()
+
+
+# ----------------------------------------------------------------------
+# policy purity
+# ----------------------------------------------------------------------
+class TestPolicyInvariants:
+    @given(views=job_views(), policy=st.sampled_from(SCHED_POLICIES))
+    @settings(max_examples=100, deadline=None)
+    def test_dispatch_order_is_a_permutation(self, views, policy):
+        order = dispatch_order(policy, views)
+        assert sorted(order) == list(range(len(views)))
+
+    @given(views=job_views())
+    @settings(max_examples=100, deadline=None)
+    def test_fair_shares_respect_pool_and_bounds(self, views):
+        shares = dispatch_fair_shares(POOL, views)
+        assert set(shares) == {v.name for v in views}
+        floors = sum(v.min_width for v in views)
+        # Shares never exceed the pool unless the width floors alone
+        # already overcommit it (admission clamps against free space).
+        assert sum(shares.values()) <= max(POOL, floors)
+        for v in views:
+            assert shares[v.name] <= v.max_width
+            assert shares[v.name] >= min(v.min_width, POOL)
+
+    @given(views=job_views())
+    @settings(max_examples=100, deadline=None)
+    def test_fair_shares_are_input_order_independent(self, views):
+        shares = dispatch_fair_shares(POOL, views)
+        assert shares == dispatch_fair_shares(POOL, list(reversed(views)))
+
+
+# ----------------------------------------------------------------------
+# work conservation / no starvation
+# ----------------------------------------------------------------------
+class TestWorkConservation:
+    @given(config=sched_configs(), specs=job_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_every_job_finishes_its_full_budget(self, config, specs):
+        result = run_schedule(config, specs)
+        assert len(result.jobs) == len(specs)
+        by_name = {j.name: j for j in result.jobs}
+        for spec in specs:
+            job = by_name[spec.name]
+            assert job.state == "finished"
+            assert job.steps_done == spec.steps
+            assert job.first_start >= spec.arrival
+            assert job.queue_wait >= 0.0
+            assert result.results[spec.name].history.steps()[-1] == spec.steps
+        assert result.makespan >= max(j.finish_time for j in result.jobs) - 1e-12
+
+    @given(specs=job_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_executor_time_is_accounted(self, specs):
+        result = run_schedule(SchedConfig(policy="fair",
+                                          total_executors=POOL), specs)
+        busy = sum(j.executor_seconds for j in result.jobs)
+        assert 0.0 < busy <= POOL * result.makespan + 1e-9
+
+
+# ----------------------------------------------------------------------
+# deterministic replay
+# ----------------------------------------------------------------------
+class TestReplay:
+    @given(config=sched_configs(), specs=job_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_schedule_log_is_byte_identical(self, config, specs):
+        first = run_schedule(config, specs)
+        second = run_schedule(config, specs)
+        assert first.log.text() == second.log.text()
+        assert first.log.digest() == second.log.digest()
+        assert first.makespan == second.makespan
+        for name in first.results:
+            a = first.results[name].history
+            b = second.results[name].history
+            assert a.seconds() == b.seconds()
+            assert a.objectives() == b.objectives()
