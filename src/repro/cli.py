@@ -153,12 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="switch collective: values per in-flight "
                             "chunk")
         p.add_argument("--backend", default="serial",
-                       choices=["serial", "threads", "processes"],
+                       choices=["serial", "threads", "processes", "shm",
+                                "socket"],
                        help="execution backend for the per-worker local "
                             "solves: 'serial' runs them in a loop, "
                             "'threads'/'processes' fan them out across "
-                            "cores; purely a wall-clock choice — results "
-                            "are bit-identical across backends")
+                            "cores, 'shm' adds shared-memory partitions "
+                            "with a zero-copy broadcast arena, 'socket' "
+                            "runs long-lived worker daemons over "
+                            "localhost TCP with measured bytes/seconds; "
+                            "purely a wall-clock choice — results are "
+                            "bit-identical across backends")
         p.add_argument("--failure-rate", type=float, default=0.0,
                        help="per-(step, executor) crash probability "
                             "(0 disables fault injection)")
@@ -314,6 +319,14 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--skip-backends", action="store_true",
                       help="time only the kernels (skip the end-to-end "
                            "backend sweep)")
+    perf.add_argument("--validate-network", action="store_true",
+                      help="run ONLY the measured-vs-simulated network "
+                           "validation: train serial vs socket (gated on "
+                           "bit-identity), then compare the socket run's "
+                           "measured bytes/seconds against the "
+                           "NetworkModel's simulated pricing of the same "
+                           "messages, plus a least-squares alpha/"
+                           "bandwidth fit of the real transport")
     perf.add_argument("--out", metavar="PATH",
                       help="write the measurements to JSON")
 
@@ -804,11 +817,64 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def _print_netcheck(report: dict) -> None:
+    measured = report["measured"]
+    simulated = report["simulated"]
+    print(f"bit-identity gate: PASSED "
+          f"({report['workload']['history_points']} history points, "
+          f"{report['workload']['system']} on "
+          f"{report['workload']['dataset']}, "
+          f"{report['workload']['executors']} executors)")
+    print(f"measured wire: {measured['messages']} messages, "
+          f"{measured['bytes_on_wire']:,} bytes "
+          f"({measured['install_bytes']:,} one-time install), "
+          f"{measured['task_comm_seconds']:.4f}s comm / "
+          f"{measured['compute_seconds']:.4f}s daemon compute")
+    print(f"simulated (NetworkModel alpha={simulated['alpha_seconds']:g}s, "
+          f"bandwidth={simulated['bandwidth_bytes_per_second']:g} B/s): "
+          f"{simulated['task_seconds']:.4f}s for the same task messages")
+    ratio = report["ratio_measured_over_simulated"]
+    if ratio is not None:
+        print(f"measured / simulated comm seconds: {ratio:.4f} "
+              "(localhost TCP vs the paper's 1 Gbps fabric — expect "
+              "well under 1)")
+    fitted = report["fitted"]
+    if fitted is not None:
+        print(f"fitted localhost transport: "
+              f"alpha={fitted['alpha_seconds']:.2e}s, "
+              f"bandwidth={fitted['bandwidth_bytes_per_second']:.3g} B/s "
+              f"(rms residual {fitted['rms_residual_seconds']:.2e}s over "
+              f"{fitted['samples']} supersteps)")
+    else:
+        print("fitted localhost transport: not identifiable from this "
+              "run (message sizes too uniform)")
+    rows = [[r["superstep"], r["messages"], f"{r['bytes']:,}",
+             f"{r['measured_comm_seconds']:.5f}",
+             f"{r['simulated_seconds']:.5f}"]
+            for r in report["per_superstep"]]
+    print(format_table(
+        ["superstep", "messages", "bytes", "measured comm s",
+         "simulated s"], rows,
+        title="per-superstep wire accounting (superstep 0 = one-time "
+              "partition install)"))
+
+
 def cmd_perf(args) -> int:
     # Imported here (not at module top): the harness is the one module
     # allowed to read the wall clock, and most CLI commands never need it.
     from .data import SyntheticSpec, generate
     from .perf.harness import backend_sweep, kernel_benchmarks
+    from .perf.netcheck import validate_network
+
+    if args.validate_network:
+        report = validate_network(executors=args.executors,
+                                  steps=args.steps, seed=args.seed)
+        _print_netcheck(report)
+        if args.out:
+            Path(args.out).write_text(json.dumps(report, indent=2),
+                                      encoding="ascii")
+            print(f"wrote {args.out}")
+        return 0
 
     kernels = kernel_benchmarks(rows=args.rows, features=args.features,
                                 repeats=args.repeats)

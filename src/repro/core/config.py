@@ -95,11 +95,16 @@ class TrainerConfig:
     backend:
         Host-side execution backend for the per-worker local solves:
         ``serial`` (in-process reference loop), ``threads`` (thread pool;
-        NumPy kernels release the GIL) or ``processes`` (process pool
-        with pickle-once partitions).  A *wall-clock* knob only: every
-        backend produces bit-identical iterates, histories and simulated
-        seconds (fixed per-worker RNG streams, fixed combine order).  See
-        :mod:`repro.engine.backend` and ``docs/performance.md``.
+        NumPy kernels release the GIL), ``processes`` (process pool with
+        pickle-once — under fork, pickle-never — partitions), ``shm``
+        (process pool over shared-memory CSR shards with a zero-copy
+        broadcast arena) or ``socket`` (long-lived worker daemons over
+        localhost TCP whose bytes-on-wire and wall seconds are measured
+        for ``repro perf --validate-network``).  A *wall-clock* knob
+        only: every backend produces bit-identical iterates, histories
+        and simulated seconds (fixed per-worker RNG streams, fixed
+        combine order).  See :mod:`repro.engine.backend` and
+        ``docs/performance.md``.
     collective:
         Aggregation topology: ``flat`` (the paper's shuffle AllReduce /
         treeAggregate — the default, bit-identical to the seed pricing),
@@ -172,9 +177,10 @@ class TrainerConfig:
             raise ValueError("restart_seconds must be non-negative")
         if self.sparse_comm not in ("auto", "on", "off"):
             raise ValueError("sparse_comm must be 'auto', 'on' or 'off'")
-        if self.backend not in ("serial", "threads", "processes"):
-            raise ValueError("backend must be 'serial', 'threads' or "
-                             "'processes'")
+        if self.backend not in ("serial", "threads", "processes", "shm",
+                                "socket"):
+            raise ValueError("backend must be 'serial', 'threads', "
+                             "'processes', 'shm' or 'socket'")
         if self.collective not in ("flat", "hier", "switch"):
             raise ValueError("collective must be 'flat', 'hier' or "
                              "'switch'")

@@ -137,6 +137,12 @@ class DistributedTrainer:
         #: ``fit`` to collect ``superstep`` / ``evaluate`` /
         #: ``local_solve`` phase timings.
         self.profiler: PhaseProfiler = NullProfiler()
+        #: Measured transport accounting from the last closed session
+        #: (``socket`` backend only; ``None`` otherwise).  Harvested by
+        #: ``TrainingSession.close`` before the backend is torn down —
+        #: this is what ``repro perf --validate-network`` compares
+        #: against the simulated :class:`NetworkModel` pricing.
+        self.last_wire_stats: dict | None = None
 
     # ------------------------------------------------------------------
     # subclass contract
@@ -237,16 +243,22 @@ class DistributedTrainer:
         # Build the local-solve execution pool for this run.  Partitions
         # are installed exactly once (pickle-once for process pools); the
         # pool is torn down by ``TrainingSession.close``, leaving a
-        # serial stub so post-fit introspection keeps working.
-        self._backend = make_backend(self.config.backend)
-        self._backend.profiler = self.profiler
-        self._backend.install_partitions(data.partitions)
+        # serial stub so post-fit introspection keeps working.  The
+        # except path covers *every* failure from pool creation through
+        # session construction — including a partial
+        # ``install_partitions`` (half-started daemons, an allocated
+        # shared-memory store) — so no worker processes, threads or shm
+        # segments leak when opening the session raises.
+        backend = make_backend(self.config.backend)
+        backend.profiler = self.profiler
         try:
+            backend.install_partitions(data.partitions)
+            self._backend = backend
             return TrainingSession(self, dataset, data, initial_weights,
                                    start_step=start_step, history=history,
                                    clock_offset=clock_offset)
         except BaseException:
-            self._backend.close()
+            backend.close()
             stub = SerialBackend()
             stub.install_partitions(data.partitions)
             self._backend = stub
@@ -401,6 +413,9 @@ class TrainingSession:
             return
         self._closed = True
         trainer = self.trainer
+        # Harvest measured transport accounting (socket backend) before
+        # the pool disappears behind the serial stub.
+        trainer.last_wire_stats = trainer._backend.wire_summary()
         trainer._backend.close()
         stub = SerialBackend()
         stub.install_partitions(self.data.partitions)

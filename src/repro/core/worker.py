@@ -14,7 +14,13 @@ phase, shaped for :mod:`repro.engine.backend`:
   bit-identically to the serial loop no matter the backend;
 * **numerics only** — simulated-seconds pricing stays in the parent
   (tasks return raw work stats), so the cost model never crosses a
-  process boundary and the priced clock is backend-invariant.
+  process boundary and the priced clock is backend-invariant;
+* **read-only inputs** — tasks never mutate their partition or the
+  broadcast model ``w``; they allocate fresh outputs.  The shared-memory
+  backend relies on this: under ``shm`` both the partition's CSR arrays
+  and the broadcast vector arrive as *read-only views* of shared
+  segments (a violating write raises), and under ``socket`` the
+  partition is a daemon-cached object reused across supersteps.
 
 Cross-worker combining (means, reduce-scatter, server pushes) stays in
 the trainers, in the serial code's float-addition order — that, plus the

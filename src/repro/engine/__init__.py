@@ -2,7 +2,8 @@
 
 from .aggregation import TreeAggregateModel, TreeAggregateTiming
 from .backend import (BACKENDS, ExecutionBackend, ProcessBackend,
-                      SerialBackend, ThreadBackend, make_backend)
+                      SerialBackend, ShmBackend, SocketBackend,
+                      ThreadBackend, make_backend)
 from .broadcast import BroadcastModel
 from .dag import MiniRdd, RddContext
 from .driver import DRIVER_LABEL, BspEngine, CommRecord, executor_label
@@ -13,7 +14,7 @@ __all__ = [
     "BspEngine", "CommRecord", "DRIVER_LABEL", "executor_label",
     "PartitionedDataset",
     "BACKENDS", "ExecutionBackend", "SerialBackend", "ThreadBackend",
-    "ProcessBackend", "make_backend",
+    "ProcessBackend", "ShmBackend", "SocketBackend", "make_backend",
     "TreeAggregateModel", "TreeAggregateTiming",
     "BroadcastModel",
     "ShuffleModel", "exchange",

@@ -10,58 +10,102 @@ Python process.  An :class:`ExecutionBackend` owns that region:
 * ``threads``   — a thread pool; partitions are shared by reference.
   NumPy/SciPy kernels release the GIL inside matvecs, so wide models see
   real overlap; small ones mostly measure pool overhead;
-* ``processes`` — a process pool with **pickle-once** partitions: the CSR
-  partitions are shipped to each worker process exactly once via the pool
-  initializer (free under ``fork`` — the pages are inherited
-  copy-on-write), and per-call traffic is just the broadcast model, the
-  task args and the returned local model.
+* ``processes`` — a process pool with **pickle-once** partitions: under
+  the preferred ``fork`` start method the partition list is installed
+  into a module-level store *before* the pool is created, so children
+  inherit it copy-on-write with **zero pickles**; on spawn platforms the
+  pool initializer ships it to each worker exactly once.  Per-call
+  traffic is the broadcast model, the task args and the returned local
+  model;
+* ``shm``       — a process pool over :mod:`repro.engine.shm`: partition
+  CSR shards live in a write-once shared-memory segment and the
+  broadcast model is written once per superstep into a shared arena —
+  zero-copy broadcast; only task scalars, RNG state and the tiny local
+  models cross process boundaries;
+* ``socket``    — long-lived worker daemons (:mod:`repro.engine.daemon`)
+  speaking the length-prefixed frame protocol of
+  :mod:`repro.engine.wire` over localhost TCP.  Everything crosses a
+  real transport, so each superstep's bytes-on-wire and wall seconds are
+  *measured* — the backend's :meth:`~ExecutionBackend.wire_summary`
+  feeds ``repro perf --validate-network``, which compares them against
+  :class:`~repro.cluster.network.NetworkModel`'s *simulated* seconds.
 
 Bit-identity is structural, not statistical: tasks are submitted and
 collected in partition-index order, every task receives (and returns) its
 worker's private RNG so streams advance exactly as in the serial loop,
 and all cross-worker *combining* stays in the parent in the serial code's
 float-addition order.  ``tests/test_perf_backend.py`` asserts every
-system's ``TrainResult.history`` is bit-identical across all three
-backends, and the golden convergence test pins the serial numbers.
+system's ``TrainResult.history`` is bit-identical across all backends,
+and the golden convergence test pins the serial numbers.
 
 Task functions must be module-level (pickled by reference); see
-:mod:`repro.core.worker`.
+:mod:`repro.core.worker`.  Backends are context managers — ``with
+make_backend(...) as backend:`` guarantees pool teardown on any exit
+path — and every lifecycle violation raises :class:`RuntimeError`
+explicitly (never a bare ``assert``, which vanishes under ``python -O``).
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import os
+import socket as socketlib
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from ..perf.profiler import NullProfiler, PhaseProfiler
+from . import shm as shm_store
+from . import wire
+from .daemon import daemon_main
+from .shm import run_on_shm_partition
 
 __all__ = ["BACKENDS", "ExecutionBackend", "SerialBackend",
-           "ThreadBackend", "ProcessBackend", "make_backend"]
+           "ThreadBackend", "ProcessBackend", "ShmBackend",
+           "SocketBackend", "make_backend"]
 
 #: Valid ``TrainerConfig.backend`` / ``--backend`` values.
-BACKENDS = ("serial", "threads", "processes")
+BACKENDS = ("serial", "threads", "processes", "shm", "socket")
 
-#: Per-process partition store, installed once by the pool initializer.
-#: Worker processes index into it instead of receiving partitions per
-#: task — the "pickle-once" half of the shared-memory design (under the
-#: preferred ``fork`` start method not even one pickle happens: the
-#: child inherits the parent's pages copy-on-write).
-_PROCESS_PARTITIONS: Sequence[Any] | None = None
+#: Process-unique ids keying the per-backend partition stores, so that
+#: concurrently open backends (e.g. two scheduler jobs in one driver
+#: process) never clobber each other's partitions.
+_BACKEND_IDS = itertools.count(1)
+
+#: store id -> that backend's partition list.  Populated in the *parent*
+#: before a fork-context pool is created (children inherit the entry
+#: copy-on-write — no serialization at all) or by the pool initializer
+#: on spawn platforms (one pickle per worker, never per task).
+_PROCESS_PARTITION_STORE: dict[int, Sequence[Any]] = {}
 
 
-def _install_process_partitions(partitions: Sequence[Any]) -> None:
-    global _PROCESS_PARTITIONS
-    _PROCESS_PARTITIONS = partitions
+def _install_process_partitions(store_id: int,
+                                partitions: Sequence[Any]) -> None:
+    """Spawn-platform pool initializer (fork installs before forking)."""
+    _PROCESS_PARTITION_STORE[store_id] = partitions
 
 
-def _run_on_partition(fn: Callable[..., Any], index: int,
+def _run_on_partition(store_id: int, fn: Callable[..., Any], index: int,
                       args: tuple) -> Any:
     """Pool-side trampoline: look the partition up by worker index."""
-    assert _PROCESS_PARTITIONS is not None, "pool initializer did not run"
-    return fn(_PROCESS_PARTITIONS[index], *args)
+    partitions = _PROCESS_PARTITION_STORE.get(store_id)
+    if partitions is None:
+        raise RuntimeError(
+            "process-backend partition store is not installed in this "
+            "worker (pool initializer did not run)")
+    return fn(partitions[index], *args)
+
+
+def _preferred_start_method(requested: str | None) -> str | None:
+    """``fork`` when available (zero-copy inheritance), else platform
+    default; an explicit request always wins."""
+    if requested is not None:
+        return requested
+    return "fork" if "fork" in mp.get_all_start_methods() else None
 
 
 class ExecutionBackend:
@@ -71,6 +115,10 @@ class ExecutionBackend:
     step), then any number of ``map_partitions`` / ``run_one`` calls, then
     ``close``.  Results always come back in submission (partition-index)
     order, so parent-side combining is order-identical to the serial loop.
+
+    Backends are context managers: ``__exit__`` closes the pool, so any
+    exit path — including a fault injected mid-``fit`` — reaps worker
+    processes and threads.
     """
 
     name = "abstract"
@@ -93,8 +141,19 @@ class ExecutionBackend:
         """Run ``fn(partitions[worker], *args)`` (event-driven trainers)."""
         raise NotImplementedError
 
+    def wire_summary(self) -> dict[str, Any] | None:
+        """Measured transport accounting, or ``None`` for backends whose
+        communication is not on a real wire."""
+        return None
+
     def close(self) -> None:
         """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class SerialBackend(ExecutionBackend):
@@ -122,7 +181,7 @@ class SerialBackend(ExecutionBackend):
 
 
 class _PoolBackend(ExecutionBackend):
-    """Shared submit/collect logic for the thread and process pools."""
+    """Shared submit/collect logic for the executor-pool backends."""
 
     def __init__(self, max_workers: int | None = None) -> None:
         super().__init__()
@@ -134,13 +193,20 @@ class _PoolBackend(ExecutionBackend):
             return max(1, min(self._max_workers, num_partitions))
         return max(1, min(num_partitions, os.cpu_count() or 1))
 
+    def _require_pool(self) -> Executor:
+        if self._pool is None:
+            raise RuntimeError(
+                f"{type(self).__name__}: install_partitions() was not "
+                "called before submitting work")
+        return self._pool
+
     def _submit(self, fn: Callable[..., Any], index: int,
                 args: tuple) -> Any:
         raise NotImplementedError
 
     def map_partitions(self, fn: Callable[..., Any],
                        args_by_worker: Sequence[tuple]) -> list[Any]:
-        assert self._pool is not None, "install_partitions() not called"
+        self._require_pool()
         with self.profiler.phase("local_solve"):
             futures = [self._submit(fn, i, args)
                        for i, args in enumerate(args_by_worker)]
@@ -148,7 +214,7 @@ class _PoolBackend(ExecutionBackend):
 
     def run_one(self, fn: Callable[..., Any], worker: int,
                 args: tuple) -> Any:
-        assert self._pool is not None, "install_partitions() not called"
+        self._require_pool()
         with self.profiler.phase("local_solve"):
             return self._submit(fn, worker, args).result()
 
@@ -176,36 +242,360 @@ class ThreadBackend(_PoolBackend):
 
     def _submit(self, fn: Callable[..., Any], index: int,
                 args: tuple) -> Any:
-        assert self._pool is not None
-        return self._pool.submit(fn, self._partitions[index], *args)
+        pool = self._require_pool()
+        return pool.submit(fn, self._partitions[index], *args)
 
 
 class ProcessBackend(_PoolBackend):
-    """Process pool with pickle-once partition installation.
+    """Process pool with pickle-once (fork: pickle-never) partitions.
 
-    Prefers the ``fork`` start method (partitions are inherited
-    copy-on-write — no serialization at all); falls back to the
-    platform default, where the pool initializer ships the partition
-    list to each worker process exactly once.
+    Under ``fork`` the partition list is installed into
+    :data:`_PROCESS_PARTITION_STORE` *before* the pool exists, so worker
+    processes inherit it copy-on-write — no serialization at all, which
+    a regression test pins by counting partition pickle events.  On
+    spawn platforms the pool initializer ships the list to each worker
+    exactly once.
     """
 
     name = "processes"
 
+    #: Test hook: force a start method for every instance (e.g. the
+    #: spawn-suite runs the whole bit-identity battery with this set).
+    default_start_method: str | None = None
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        super().__init__(max_workers)
+        self._start_method = start_method
+        self._store_id = next(_BACKEND_IDS)
+
     def install_partitions(self, partitions: Sequence[Any]) -> None:
         self.close()
         parts = list(partitions)
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else None)
+        method = _preferred_start_method(
+            self._start_method or self.default_start_method)
+        ctx = mp.get_context(method)
+        if ctx.get_start_method() == "fork":
+            # Install BEFORE the pool forks: children inherit the store
+            # entry copy-on-write and initargs stay empty.
+            _PROCESS_PARTITION_STORE[self._store_id] = parts
+            initializer: Callable[..., None] | None = None
+            initargs: tuple = ()
+        else:
+            initializer = _install_process_partitions
+            initargs = (self._store_id, parts)
         self._pool = ProcessPoolExecutor(
             max_workers=self._pool_size(len(parts)),
             mp_context=ctx,
-            initializer=_install_process_partitions,
-            initargs=(parts,))
+            initializer=initializer,
+            initargs=initargs)
 
     def _submit(self, fn: Callable[..., Any], index: int,
                 args: tuple) -> Any:
-        assert self._pool is not None
-        return self._pool.submit(_run_on_partition, fn, index, args)
+        pool = self._require_pool()
+        return pool.submit(_run_on_partition, self._store_id, fn, index,
+                           args)
+
+    def close(self) -> None:
+        super().close()
+        _PROCESS_PARTITION_STORE.pop(self._store_id, None)
+
+
+def _is_model_vector(value: Any, capacity: int) -> bool:
+    """Does ``value`` look like a broadcast model vector that fits the
+    shared arena?  (1-d float64 — the shape of every model in the study.)"""
+    return (isinstance(value, np.ndarray) and value.ndim == 1
+            and value.dtype == np.float64 and value.size <= capacity)
+
+
+class ShmBackend(_PoolBackend):
+    """Process pool over shared-memory partitions + broadcast arena.
+
+    ``install_partitions`` packs every partition's CSR arrays into one
+    write-once shared segment (:func:`repro.engine.shm.build_store`);
+    workers operate on read-only zero-copy views.  ``map_partitions``
+    detects the broadcast model vector (the same ndarray object in every
+    worker's args), writes it into the shared arena **once**, and ships
+    only a tiny :class:`~repro.engine.shm.BroadcastRef` marker per task —
+    per-superstep pickle traffic shrinks to task scalars, RNG state and
+    the returned local models.
+
+    Safe because the study's tasks never mutate the broadcast model or
+    their partition (the ``--sanitize`` battery freezes both and all
+    nine systems pass bit-exactly); the shared views are read-only, so a
+    violating task raises instead of corrupting its neighbours.
+    """
+
+    name = "shm"
+
+    #: Test hook mirroring :attr:`ProcessBackend.default_start_method`.
+    default_start_method: str | None = None
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        super().__init__(max_workers)
+        self._start_method = start_method
+        self._store_id = shm_store.new_store_id()
+        self._store: shm_store.ShmStore | None = None
+
+    def install_partitions(self, partitions: Sequence[Any]) -> None:
+        self.close()
+        parts = list(partitions)
+        self._store = shm_store.build_store(parts)
+        method = _preferred_start_method(
+            self._start_method or self.default_start_method)
+        ctx = mp.get_context(method)
+        if ctx.get_start_method() == "fork":
+            # Same pre-fork trick as ProcessBackend, but what children
+            # inherit is a handful of *views* over MAP_SHARED segments —
+            # the partition bytes themselves are never even copied-on-
+            # write, and parent arena writes are visible to workers.
+            shm_store.install_worker_state(self._store_id,
+                                           self._store.worker_state())
+            initializer: Callable[..., None] | None = None
+            initargs: tuple = ()
+        else:
+            initializer = shm_store.attach_worker_state
+            initargs = (self._store_id, self._store.layout)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._pool_size(len(parts)),
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs)
+
+    def _require_store(self) -> shm_store.ShmStore:
+        if self._store is None:
+            raise RuntimeError(
+                "ShmBackend: install_partitions() was not called before "
+                "submitting work")
+        return self._store
+
+    def _broadcast_position(self,
+                            args_by_worker: Sequence[tuple]) -> int | None:
+        """Position of the shared broadcast arg: the same model-vector
+        *object* in every worker's tuple."""
+        store = self._require_store()
+        first = args_by_worker[0]
+        for pos, value in enumerate(first):
+            if not _is_model_vector(value, store.layout.bcast_capacity):
+                continue
+            if all(args[pos] is value for args in args_by_worker[1:]):
+                return pos
+        return None
+
+    def map_partitions(self, fn: Callable[..., Any],
+                       args_by_worker: Sequence[tuple]) -> list[Any]:
+        self._require_pool()
+        if not args_by_worker:
+            return []
+        prepared: Sequence[tuple] = args_by_worker
+        pos = self._broadcast_position(args_by_worker)
+        if pos is not None:
+            ref = self._require_store().write_broadcast(
+                args_by_worker[0][pos])
+            prepared = [args[:pos] + (ref,) + args[pos + 1:]
+                        for args in args_by_worker]
+        with self.profiler.phase("local_solve"):
+            futures = [self._submit(fn, i, args)
+                       for i, args in enumerate(prepared)]
+            # The arena is reused next superstep, but only after every
+            # task of this one has finished reading it (collected here).
+            return [future.result() for future in futures]
+
+    def run_one(self, fn: Callable[..., Any], worker: int,
+                args: tuple) -> Any:
+        self._require_pool()
+        store = self._require_store()
+        for pos, value in enumerate(args):
+            if _is_model_vector(value, store.layout.bcast_capacity):
+                ref = store.write_broadcast(value)
+                args = args[:pos] + (ref,) + args[pos + 1:]
+                break
+        with self.profiler.phase("local_solve"):
+            return self._submit(fn, worker, args).result()
+
+    def _submit(self, fn: Callable[..., Any], index: int,
+                args: tuple) -> Any:
+        pool = self._require_pool()
+        return pool.submit(run_on_shm_partition, self._store_id, fn,
+                           index, args)
+
+    def close(self) -> None:
+        super().close()
+        shm_store.discard_worker_state(self._store_id)
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+
+class SocketBackend(ExecutionBackend):
+    """Long-lived worker daemons over localhost TCP — a measured wire.
+
+    Executors are separate OS processes (:func:`repro.engine.daemon.
+    daemon_main`) that dial back to the parent, cache their partition
+    shards once, and serve TASK frames until shutdown.  Partition
+    ``index`` is pinned to daemon ``index % n_daemons`` — the Spark
+    executor/cache locality model.  Every exchange's bytes and wall
+    seconds are recorded (:class:`repro.engine.wire.WireRecord`);
+    :meth:`wire_summary` aggregates them for the measured-vs-simulated
+    network validation.
+
+    Concurrency: one lock per daemon enforces strict request/response on
+    each connection (no interleaved frames, no send/recv deadlock) while
+    a small IO thread pool lets distinct daemons compute in parallel.
+    Futures are collected in partition-index order, preserving the
+    bit-identity contract.
+    """
+
+    name = "socket"
+
+    #: Test hook mirroring :attr:`ProcessBackend.default_start_method`.
+    default_start_method: str | None = None
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._start_method = start_method
+        self._daemons: list[Any] = []
+        self._channels: dict[int, wire.FrameChannel] = {}
+        self._locks: dict[int, threading.Lock] = {}
+        self._assignment: dict[int, int] = {}
+        self._io: ThreadPoolExecutor | None = None
+        self._log = wire.WireLog()
+        self._round = 0
+
+    def _pool_size(self, num_partitions: int) -> int:
+        if self._max_workers is not None:
+            return max(1, min(self._max_workers, num_partitions))
+        return max(1, min(num_partitions, os.cpu_count() or 1))
+
+    def install_partitions(self, partitions: Sequence[Any]) -> None:
+        self.close()
+        # Fresh accounting per run; close() keeps the old log readable so
+        # the session can harvest it after teardown.
+        self._log = wire.WireLog()
+        self._round = 0
+        parts = list(partitions)
+        n_daemons = self._pool_size(len(parts))
+        method = _preferred_start_method(
+            self._start_method or self.default_start_method)
+        ctx = mp.get_context(method)
+        listener = socketlib.create_server(("127.0.0.1", 0))
+        listener.settimeout(wire.DEFAULT_TIMEOUT)
+        try:
+            port = listener.getsockname()[1]
+            for worker_id in range(n_daemons):
+                proc = ctx.Process(target=daemon_main,
+                                   args=(port, worker_id), daemon=True,
+                                   name=f"repro-daemon-{worker_id}")
+                proc.start()
+                self._daemons.append(proc)
+            for _ in range(n_daemons):
+                conn, _addr = listener.accept()
+                channel = wire.FrameChannel(conn)
+                kind, worker_id, _ = channel.recv()
+                if kind != wire.HELLO:
+                    raise RuntimeError(
+                        f"worker daemon sent frame kind {kind} before "
+                        "HELLO")
+                self._channels[worker_id] = channel
+                self._locks[worker_id] = threading.Lock()
+        except BaseException:
+            listener.close()
+            self.close()
+            raise
+        listener.close()
+        # Ship each daemon its partition shards exactly once.
+        shards: dict[int, dict[int, Any]] = {w: {} for w in self._channels}
+        for index, part in enumerate(parts):
+            worker_id = index % n_daemons
+            self._assignment[index] = worker_id
+            shards[worker_id][index] = part
+        for worker_id, shard in shards.items():
+            kind, _ack, exchange = self._channels[worker_id].request(
+                wire.INSTALL, shard)
+            if kind != wire.ACK:
+                raise RuntimeError(
+                    f"worker daemon {worker_id} failed to acknowledge "
+                    "partition installation")
+            self._log.add(wire.WireRecord(
+                label="install", worker=worker_id, superstep=0,
+                bytes_out=exchange.bytes_out, bytes_in=exchange.bytes_in,
+                roundtrip_seconds=exchange.seconds))
+        self._io = ThreadPoolExecutor(max_workers=n_daemons,
+                                      thread_name_prefix="repro-io")
+
+    def _require_io(self) -> ThreadPoolExecutor:
+        if self._io is None:
+            raise RuntimeError(
+                "SocketBackend: install_partitions() was not called "
+                "before submitting work")
+        return self._io
+
+    def _exchange_task(self, fn: Callable[..., Any], index: int,
+                       args: tuple, superstep: int) -> Any:
+        worker_id = self._assignment[index]
+        with self._locks[worker_id]:
+            kind, payload, exchange = self._channels[worker_id].request(
+                wire.TASK, (fn, index, args))
+        if kind == wire.ERROR:
+            raise payload
+        if kind != wire.RESULT:
+            raise RuntimeError(
+                f"worker daemon {worker_id} replied with frame kind "
+                f"{kind} to a task")
+        result, compute_in_daemon = payload
+        self._log.add(wire.WireRecord(
+            label="task", worker=worker_id, superstep=superstep,
+            bytes_out=exchange.bytes_out, bytes_in=exchange.bytes_in,
+            roundtrip_seconds=exchange.seconds,
+            compute_seconds=compute_in_daemon))
+        return result
+
+    def map_partitions(self, fn: Callable[..., Any],
+                       args_by_worker: Sequence[tuple]) -> list[Any]:
+        io = self._require_io()
+        self._round += 1
+        superstep = self._round
+        with self.profiler.phase("local_solve"):
+            futures = [io.submit(self._exchange_task, fn, i, tuple(args),
+                                 superstep)
+                       for i, args in enumerate(args_by_worker)]
+            return [future.result() for future in futures]
+
+    def run_one(self, fn: Callable[..., Any], worker: int,
+                args: tuple) -> Any:
+        self._require_io()
+        self._round += 1
+        with self.profiler.phase("local_solve"):
+            return self._exchange_task(fn, worker, tuple(args),
+                                       self._round)
+
+    def wire_summary(self) -> dict[str, Any] | None:
+        return self._log.summary()
+
+    def close(self) -> None:
+        if self._io is not None:
+            self._io.shutdown(wait=True)
+            self._io = None
+        for worker_id, channel in list(self._channels.items()):
+            try:
+                with self._locks[worker_id]:
+                    channel.request(wire.SHUTDOWN, None)
+            except Exception:
+                pass  # daemon already gone; reaped below
+            channel.close()
+        self._channels.clear()
+        self._locks.clear()
+        self._assignment.clear()
+        for proc in self._daemons:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - wedged daemon
+                proc.terminate()
+                proc.join(timeout=10)
+        self._daemons.clear()
+        self._round = 0
 
 
 def make_backend(name: str,
@@ -217,5 +607,9 @@ def make_backend(name: str,
         return ThreadBackend(max_workers)
     if name == "processes":
         return ProcessBackend(max_workers)
+    if name == "shm":
+        return ShmBackend(max_workers)
+    if name == "socket":
+        return SocketBackend(max_workers)
     raise ValueError(f"unknown backend {name!r}; expected one of "
                      f"{BACKENDS}")

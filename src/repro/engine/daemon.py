@@ -1,0 +1,89 @@
+"""Long-lived worker daemon for the ``socket`` execution backend.
+
+Each daemon is a separate OS process that dials back to the parent's
+localhost listener, identifies itself with a HELLO frame, receives its
+partition shards once (INSTALL), then sits in a strict request/response
+loop executing TASK frames until SHUTDOWN.  This is the moral equivalent
+of a Spark executor: state (the cached partitions) lives with the
+worker across supersteps, and only models/gradients cross the wire.
+
+The daemon times each task's execution (``compute_seconds``) and ships
+the timing inside the RESULT payload, so the parent can subtract compute
+from the measured round trip and attribute the remainder to the
+transport.  This file shares :mod:`repro.engine.wire`'s DET001 wall-clock
+exemption — measured seconds never feed the simulated clock; they exist
+only for the measured-vs-simulated validation report.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+from typing import Any
+
+from . import wire
+
+__all__ = ["daemon_main"]
+
+
+def _safe_exception(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return wire.RemoteTaskError(
+            f"task raised unpicklable {type(exc).__name__}: {exc!r}")
+
+
+def daemon_main(port: int, worker_id: int,
+                host: str = "127.0.0.1") -> None:
+    """Entry point of one worker daemon process.
+
+    Protocol (daemon side):
+
+    * connect, send ``HELLO worker_id``;
+    * ``INSTALL {index: partition}`` → merge into the local cache, ACK;
+    * ``TASK (fn, index, args)`` → run ``fn(partitions[index], *args)``,
+      reply ``RESULT (result, compute_seconds)`` or ``ERROR exc``;
+    * ``SHUTDOWN`` → reply BYE and exit.
+    """
+    conn = socket.create_connection((host, port),
+                                    timeout=wire.DEFAULT_TIMEOUT)
+    channel = wire.FrameChannel(conn)
+    channel.send(wire.HELLO, worker_id)
+    partitions: dict[int, Any] = {}
+    try:
+        while True:
+            kind, payload, _ = channel.recv()
+            if kind == wire.INSTALL:
+                partitions.update(payload)
+                channel.send(wire.ACK, len(partitions))
+            elif kind == wire.TASK:
+                fn, index, args = payload
+                start = time.perf_counter()
+                try:
+                    if index not in partitions:
+                        raise RuntimeError(
+                            f"partition {index} is not installed on "
+                            f"worker daemon {worker_id}")
+                    result = fn(partitions[index], *args)
+                except BaseException as exc:  # noqa: BLE001 - shipped back
+                    channel.send(wire.ERROR, _safe_exception(exc))
+                else:
+                    compute = time.perf_counter() - start
+                    channel.send(wire.RESULT, (result, compute))
+            elif kind == wire.SHUTDOWN:
+                channel.send(wire.BYE, worker_id)
+                return
+            else:
+                channel.send(wire.ERROR, wire.RemoteTaskError(
+                    f"unexpected frame kind {kind} on worker daemon "
+                    f"{worker_id}"))
+    except (ConnectionError, EOFError, OSError):
+        # Parent died or tore the wire down without SHUTDOWN; exit quietly
+        # — the backend's close() path reaps us either way.
+        return
+    finally:
+        channel.close()
