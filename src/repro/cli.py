@@ -110,6 +110,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--local-epochs", type=int, default=1,
                        help="SendModel only: local passes over the "
                             "partition per communication step")
+        p.add_argument("--local-solver", default="mgd",
+                       choices=["mgd", "cocoa", "cocoa+"],
+                       help="SendModel local-solve family: 'mgd' runs the "
+                            "paper's primal minibatch-gradient passes; "
+                            "'cocoa'/'cocoa+' run SDCA epochs over each "
+                            "partition's dual variables and sum "
+                            "gamma-scaled model deltas, reporting a "
+                            "certified duality gap (requires --l2 > 0; "
+                            "MLlib* and MLlib+MA only)")
+        p.add_argument("--gamma", type=float, default=None,
+                       help="dual solvers: outer aggregation weight; "
+                            "default 1/K (averaging) for cocoa, 1 "
+                            "(adding) for cocoa+")
+        p.add_argument("--local-iters", type=int, default=1,
+                       help="dual solvers: SDCA passes over the local "
+                            "dual block per communication step (the H "
+                            "of CoCoA)")
         p.add_argument("--tasks-per-executor", type=int, default=1,
                        help="waves of tasks per executor in SendGradient "
                             "trainers (Section V-C; the paper found 1 "
@@ -466,6 +483,9 @@ def _make_config(args, **overrides) -> TrainerConfig:
                 collective=getattr(args, "collective", "flat"),
                 switch_slots=getattr(args, "switch_slots", 512),
                 switch_chunk=getattr(args, "switch_chunk", 256),
+                local_solver=getattr(args, "local_solver", "mgd"),
+                gamma=getattr(args, "gamma", None),
+                local_iters=getattr(args, "local_iters", 1),
                 eval_every=args.eval_every, seed=args.seed,
                 failure_rate=getattr(args, "failure_rate", 0.0),
                 failure_schedule=getattr(args, "failure_schedule", None),
@@ -517,6 +537,11 @@ def cmd_train(args) -> int:
         print(f"recovered from {len(result.failures)} injected "
               f"failure(s); {result.recovery_seconds:.3f} simulated "
               "seconds of recovery downtime")
+    if result.duality_gaps:
+        g = result.duality_gaps[-1]
+        print(f"certified duality gap ({args.local_solver}, "
+              f"H={args.local_iters}): {g.gap:.3e} at step {g.step} "
+              f"(primal {g.primal:.6f}, dual {g.dual:.6f})")
     if result.comm and (getattr(args, "sparse_comm", "off") != "off"
                         or getattr(args, "collective", "flat") != "flat"):
         parts = []
@@ -839,7 +864,7 @@ def _print_netcheck(report: dict) -> None:
               "(localhost TCP vs the paper's 1 Gbps fabric — expect "
               "well under 1)")
     fitted = report["fitted"]
-    if fitted is not None:
+    if fitted["ok"]:
         print(f"fitted localhost transport: "
               f"alpha={fitted['alpha_seconds']:.2e}s, "
               f"bandwidth={fitted['bandwidth_bytes_per_second']:.3g} B/s "
@@ -847,7 +872,7 @@ def _print_netcheck(report: dict) -> None:
               f"{fitted['samples']} supersteps)")
     else:
         print("fitted localhost transport: not identifiable from this "
-              "run (message sizes too uniform)")
+              f"run — {fitted['reason']}")
     rows = [[r["superstep"], r["messages"], f"{r['bytes']:,}",
              f"{r['measured_comm_seconds']:.5f}",
              f"{r['simulated_seconds']:.5f}"]

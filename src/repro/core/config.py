@@ -120,6 +120,26 @@ class TrainerConfig:
         rounds, paying one extra latency per stall.
     switch_chunk:
         ``switch`` only: values per in-flight chunk in the switch pool.
+    local_solver:
+        SendModel local-solve family: ``mgd`` (the paper's primal
+        minibatch-gradient passes — the default, bit-identical to the
+        seed) or the dual coordinate-ascent family ``cocoa`` /
+        ``cocoa+`` (SDCA epochs over each partition's dual variables;
+        workers ship gamma-scaled model *deltas* that are summed, and a
+        certified duality gap is reported per evaluation).  Requires L2
+        regularization and a loss with an implemented conjugate.  See
+        :mod:`repro.glm.dual` and ``docs/algorithms.md``.
+    gamma:
+        Dual solvers only: outer aggregation weight applied to every
+        worker's delta (and, identically, to its retained dual block).
+        ``None`` picks the family default — ``1/K`` (averaging) for
+        ``cocoa``, ``1`` (adding) for ``cocoa+``.  The local subproblem
+        scaling ``sigma' = gamma * K`` keeps any choice in ``(0, 1]``
+        safe.
+    local_iters:
+        Dual solvers only: the local-iteration budget ``H`` — SDCA
+        passes over the worker's dual block per communication step (the
+        compute-vs-communication lever of Duenner et al.).
     """
 
     learning_rate: float = 0.1
@@ -146,6 +166,9 @@ class TrainerConfig:
     collective: str = "flat"
     switch_slots: int = 512
     switch_chunk: int = 256
+    local_solver: str = "mgd"
+    gamma: float | None = None
+    local_iters: int = 1
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -188,6 +211,13 @@ class TrainerConfig:
             raise ValueError("switch_slots must be at least 1")
         if self.switch_chunk < 1:
             raise ValueError("switch_chunk must be at least 1")
+        if self.local_solver not in ("mgd", "cocoa", "cocoa+"):
+            raise ValueError("local_solver must be 'mgd', 'cocoa' or "
+                             "'cocoa+'")
+        if self.gamma is not None and not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if self.local_iters < 1:
+            raise ValueError("local_iters must be at least 1")
 
     def with_overrides(self, **kwargs) -> "TrainerConfig":
         """Return a copy with the given fields replaced."""

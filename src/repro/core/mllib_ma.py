@@ -22,7 +22,7 @@ from ..engine import (BroadcastModel, BspEngine, PartitionedDataset,
 from ..glm import Objective
 from .config import TrainerConfig
 from .trainer import DistributedTrainer
-from .worker import send_model_task
+from .worker import run_dual_on_partition, send_model_task
 
 __all__ = ["MLlibModelAveragingTrainer"]
 
@@ -31,6 +31,7 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
     """SendModel through the unchanged MLlib aggregation path."""
 
     system = "MLlib+MA"
+    supports_dual_solver = True
 
     def __init__(self, objective: Objective, cluster: ClusterSpec,
                  config: TrainerConfig | None = None,
@@ -49,6 +50,7 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
                                  faults=self.faults, recovery=self.recovery)
         self._install_recovery_costs(self._engine, data)
         self._rngs = self._worker_rngs(data.num_partitions)
+        self._init_dual_state(data)
 
     def _clock(self) -> float:
         assert self._engine is not None, "fit() not started"
@@ -64,21 +66,39 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
         engine = self._engine
         assert engine is not None
         m = data.n_features
-        lr = self.schedule.at(step)
+        dual = self.config.local_solver != "mgd"
 
-        # Phase 1: every executor updates a local model over its partition
-        # (independent local solves; fanned out across the backend).
-        results = self._backend.map_partitions(
-            send_model_task,
-            [(w, self.objective, lr, self.config, self._rngs[i])
-             for i in range(data.num_partitions)])
+        # Phase 1: every executor updates a local model over its
+        # partition (independent local solves; fanned out across the
+        # backend).  Under a dual solver the local work is H SDCA epochs
+        # over the executor's dual block and the shipped vector is a
+        # gamma-scaled model *delta* — the communication pattern (one
+        # m-vector per executor up the tree, broadcast back) and its
+        # pricing are unchanged.
         locals_: list[np.ndarray] = []
         durations: list[float] = []
-        for i, (local_w, stats, rng) in enumerate(results):
-            self._rngs[i] = rng
-            locals_.append(local_w)
-            durations.append(self._compute_seconds(
-                stats.nnz_processed, stats.dense_ops, i))
+        if dual:
+            results = self._backend.map_partitions(
+                run_dual_on_partition,
+                [(w, self.objective, self._dual_spec, self._duals[i],
+                  self._rngs[i]) for i in range(data.num_partitions)])
+            for i, (delta_w, alpha, stats, rng) in enumerate(results):
+                self._rngs[i] = rng
+                self._duals[i] = alpha
+                locals_.append(delta_w)
+                durations.append(self._compute_seconds(
+                    stats.nnz_processed, stats.dense_ops, i))
+        else:
+            lr = self.schedule.at(step)
+            results = self._backend.map_partitions(
+                send_model_task,
+                [(w, self.objective, lr, self.config, self._rngs[i])
+                 for i in range(data.num_partitions)])
+            for i, (local_w, stats, rng) in enumerate(results):
+                self._rngs[i] = rng
+                locals_.append(local_w)
+                durations.append(self._compute_seconds(
+                    stats.nnz_processed, stats.dense_ops, i))
         engine.compute_phase(durations, step)
 
         # Phase 2: unchanged MLlib communication — models (not gradients)
@@ -106,8 +126,16 @@ class MLlibModelAveragingTrainer(DistributedTrainer):
         engine.tree_aggregate_phase(m, step, redo_seconds=durations,
                                     wire=wire)
 
-        # ...which performs the model averaging (one dense pass) ...
-        new_w = np.mean(locals_, axis=0)
+        # ...which combines them on the driver (one dense pass): model
+        # averaging for the primal path, delta summation (applied to the
+        # broadcast iterate, in fixed partition order) for the dual path.
+        if dual:
+            total = locals_[0].copy()
+            for delta in locals_[1:]:
+                total += delta
+            new_w = w + total
+        else:
+            new_w = np.mean(locals_, axis=0)
         average_seconds = self.cluster.compute.dense_op_seconds(
             m, self.cluster.driver)
         engine.driver_update_phase(average_seconds, step)

@@ -28,7 +28,7 @@ from ..engine import BspEngine, PartitionedDataset
 from ..glm import Objective
 from .config import TrainerConfig
 from .trainer import DistributedTrainer
-from .worker import send_model_task
+from .worker import run_dual_on_partition, send_model_task
 
 __all__ = ["MLlibStarTrainer"]
 
@@ -37,6 +37,7 @@ class MLlibStarTrainer(DistributedTrainer):
     """The paper's MLlib*: SendModel + shuffle-based AllReduce."""
 
     system = "MLlib*"
+    supports_dual_solver = True
 
     def __init__(self, objective: Objective, cluster: ClusterSpec,
                  config: TrainerConfig | None = None,
@@ -66,6 +67,7 @@ class MLlibStarTrainer(DistributedTrainer):
                                  recovery=self.recovery)
         self._install_recovery_costs(self._engine, data)
         self._rngs = self._worker_rngs(data.num_partitions)
+        self._init_dual_state(data)
 
     def _clock(self) -> float:
         assert self._engine is not None, "fit() not started"
@@ -81,6 +83,30 @@ class MLlibStarTrainer(DistributedTrainer):
         engine = self._engine
         assert engine is not None
         m = data.n_features
+
+        if self.config.local_solver != "mgd":
+            # Dual path (CoCoA/CoCoA+): every executor runs H SDCA
+            # epochs over its dual block and ships a gamma-scaled model
+            # *delta*; deltas are summed through the exact same
+            # AllReduce and applied to the broadcast iterate.  Dual
+            # blocks round-trip through the parent like the RNGs.
+            results = self._backend.map_partitions(
+                run_dual_on_partition,
+                [(w, self.objective, self._dual_spec, self._duals[i],
+                  self._rngs[i]) for i in range(data.num_partitions)])
+            deltas: list[np.ndarray] = []
+            durations: list[float] = []
+            for i, (delta_w, alpha, stats, rng) in enumerate(results):
+                self._rngs[i] = rng
+                self._duals[i] = alpha
+                deltas.append(delta_w)
+                durations.append(self._compute_seconds(
+                    stats.nnz_processed, stats.dense_ops, i))
+            engine.compute_phase(durations, step)
+            total = self._exchange(deltas, m, step, durations,
+                                   combine="sum", weights=None)
+            return w + total
+
         lr = self.schedule.at(step)
 
         # Phase 1: UpdateModel on every executor — independent local SGD
@@ -98,6 +124,25 @@ class MLlibStarTrainer(DistributedTrainer):
             durations.append(self._compute_seconds(
                 stats.nnz_processed, stats.dense_ops, i))
         engine.compute_phase(durations, step)
+        weights = None
+        if self.combine == "weighted":
+            weights = [float(p.n_rows) for p in data.partitions]
+        return self._exchange(locals_, m, step, durations,
+                              combine=self.combine, weights=weights)
+
+    def _exchange(self, locals_: list[np.ndarray], m: int, step: int,
+                  durations: list[float], combine: str,
+                  weights: list[float] | None) -> np.ndarray:
+        """Reduce-Scatter + AllGather of one vector per executor.
+
+        The priced shuffle AllReduce shared by the primal path (combine
+        local *models*, usually averaging) and the dual path (``sum``
+        the gamma-scaled *deltas*) — both exchange exactly one m-vector
+        per executor, so topology and sparse-wire pricing compose
+        identically.
+        """
+        engine = self._engine
+        assert engine is not None
 
         # Phase 2: Reduce-Scatter — owners combine their partition.  A
         # crashed owner loses its local model *and* every piece peers
@@ -112,13 +157,10 @@ class MLlibStarTrainer(DistributedTrainer):
         # bit-identical across --collective values too.
         mode = self.config.sparse_comm
         collective = self.config.collective
-        weights = None
-        if self.combine == "weighted":
-            weights = [float(p.n_rows) for p in data.partitions]
         if collective == "hier":
             groups = self.cluster.executor_groups()
             partitions, rs_wire = hier_reduce_scatter(
-                locals_, groups, combine=self.combine, weights=weights,
+                locals_, groups, combine=combine, weights=weights,
                 mode=mode)
             engine.reduce_scatter_phase(m, step, redo_seconds=durations,
                                         wire=rs_wire)
@@ -130,7 +172,7 @@ class MLlibStarTrainer(DistributedTrainer):
             return new_w
         if collective == "switch":
             partitions, rs_wire = switch_reduce_scatter(
-                locals_, combine=self.combine, weights=weights,
+                locals_, combine=combine, weights=weights,
                 mode=mode, pool_slots=self.config.switch_slots,
                 chunk_values=self.config.switch_chunk)
             engine.reduce_scatter_phase(m, step, redo_seconds=durations,
@@ -144,7 +186,7 @@ class MLlibStarTrainer(DistributedTrainer):
                                     wire=ag_wire)
             return new_w
         partitions, rs_stats = sparse_reduce_scatter(
-            locals_, combine=self.combine, weights=weights, mode=mode)
+            locals_, combine=combine, weights=weights, mode=mode)
         engine.reduce_scatter_phase(
             m, step, redo_seconds=durations,
             wire=rs_stats if mode != "off" else None)

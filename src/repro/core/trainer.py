@@ -44,7 +44,26 @@ from ..metrics import TrainingHistory
 from ..perf.profiler import NullProfiler, PhaseProfiler
 from .config import TrainerConfig
 
-__all__ = ["TrainResult", "TrainingSession", "DistributedTrainer"]
+__all__ = ["GapRecord", "TrainResult", "TrainingSession",
+           "DistributedTrainer"]
+
+
+@dataclass(frozen=True)
+class GapRecord:
+    """One certified duality-gap evaluation (dual local solvers only).
+
+    ``gap = primal - dual`` upper-bounds the primal suboptimality
+    ``P(w) - P(w*)`` by weak duality — a convergence *certificate* the
+    run carries alongside the training history's objective values.
+    Monitoring only: evaluated in the parent at the history's cadence,
+    costing no simulated time.
+    """
+
+    step: int
+    seconds: float
+    gap: float
+    primal: float
+    dual: float
 
 
 @dataclass(frozen=True)
@@ -62,6 +81,9 @@ class TrainResult:
     #: Wire accounting, one record per priced communication phase (empty
     #: for trainers without a comm-recording engine).
     comm: tuple[CommRecord, ...] = ()
+    #: Certified duality-gap report, one record per evaluated step
+    #: (empty unless a dual local solver — cocoa/cocoa+ — ran).
+    duality_gaps: tuple[GapRecord, ...] = ()
 
     @property
     def final_objective(self) -> float:
@@ -102,6 +124,12 @@ class DistributedTrainer:
     #: Human-readable system name, overridden by subclasses.
     system = "abstract"
 
+    #: Whether the trainer implements the dual local-solver family
+    #: (``config.local_solver`` in ``{"cocoa", "cocoa+"}``).  SendModel
+    #: trainers override this; requesting a dual solver from any other
+    #: system fails fast in :meth:`open_session`.
+    supports_dual_solver = False
+
     def __init__(self, objective: Objective, cluster: ClusterSpec,
                  config: TrainerConfig | None = None) -> None:
         self.objective = objective
@@ -137,6 +165,13 @@ class DistributedTrainer:
         #: ``fit`` to collect ``superstep`` / ``evaluate`` /
         #: ``local_solve`` phase timings.
         self.profiler: PhaseProfiler = NullProfiler()
+        #: Per-worker dual blocks (one array of dual variables per
+        #: partition row) when a dual local solver is active; ``None``
+        #: under the primal default.  Round-tripped through the task
+        #: functions exactly like the RNG streams, so dual state lives
+        #: in the parent and runs stay bit-identical across backends.
+        self._duals: list[np.ndarray] | None = None
+        self._dual_spec = None
         #: Measured transport accounting from the last closed session
         #: (``socket`` backend only; ``None`` otherwise).  Harvested by
         #: ``TrainingSession.close`` before the backend is torn down —
@@ -201,6 +236,41 @@ class DistributedTrainer:
             for i, part in enumerate(data.partitions)])
 
     # ------------------------------------------------------------------
+    def _init_dual_state(self, data: PartitionedDataset) -> None:
+        """Build the run's dual state when a dual solver is configured.
+
+        Called from dual-capable trainers' ``_prepare``: resolves the
+        :class:`~repro.glm.dual.DualSolverSpec` (family defaults for
+        gamma, ``sigma' = gamma * K``) and zero-initializes one dual
+        block per partition.  ``alpha = 0`` is feasible for every
+        conjugate, so the first certificate is valid from step 0.
+        Resets to ``None`` under the primal default so a trainer reused
+        across configs never reports a stale gap.
+        """
+        from ..glm import make_dual_spec, require_dual_capable
+        if self.config.local_solver == "mgd":
+            self._duals = None
+            self._dual_spec = None
+            return
+        require_dual_capable(self.objective)
+        self._dual_spec = make_dual_spec(
+            self.config.local_solver, self.config.gamma,
+            self.config.local_iters, data.dataset.X.shape[0],
+            data.num_partitions)
+        self._duals = [np.zeros(part.n_rows) for part in data.partitions]
+
+    def _certified_gap(self, w: np.ndarray, data: PartitionedDataset,
+                       ) -> tuple[float, float, float] | None:
+        """``(gap, primal, dual)`` for the current iterate, or ``None``
+        when no dual solver is active.  Parent-side and unpriced, so it
+        is backend-invariant monitoring like the objective evaluation."""
+        if self._duals is None:
+            return None
+        from ..glm import certified_gap
+        return certified_gap(self.objective, w, data.partitions,
+                             self._duals, data.dataset)
+
+    # ------------------------------------------------------------------
     def _worker_rngs(self, num_workers: int) -> list[np.random.Generator]:
         """Independent, reproducible per-worker RNG streams."""
         root = np.random.SeedSequence(self.config.seed)
@@ -237,6 +307,13 @@ class DistributedTrainer:
         simulated seconds already consumed — the fresh engine's clock is
         reported relative to it.  Defaults describe a run from scratch.
         """
+        if (self.config.local_solver != "mgd"
+                and not self.supports_dual_solver):
+            raise ValueError(
+                f"{self.system} does not support "
+                f"local_solver={self.config.local_solver!r}; the dual "
+                "CoCoA family is implemented for the SendModel trainers "
+                "(MLlib*, MLlib+MA)")
         data = PartitionedDataset.load(dataset, self.cluster,
                                        strategy=partition_strategy,
                                        seed=self.config.seed)
@@ -346,11 +423,23 @@ class TrainingSession:
                                       dataset=dataset.name,
                                       detail=trainer.objective.describe())
         self.history = history
+        #: Certified duality-gap report (dual solvers only), one
+        #: :class:`GapRecord` per evaluated step.
+        self.gaps: list[GapRecord] = []
         if start_step == 0:
             with trainer.profiler.phase("evaluate"):
                 objective_value = trainer.objective.value(w, dataset.X,
                                                           dataset.y)
             history.record(0, self.clock(), objective_value)
+            self._record_gap(0)
+
+    def _record_gap(self, step: int) -> None:
+        """Append the dual certificate at ``step`` (no-op for primal)."""
+        gap_info = self.trainer._certified_gap(self.w, self.data)
+        if gap_info is not None:
+            gap, primal, dual = gap_info
+            self.gaps.append(GapRecord(step=step, seconds=self.clock(),
+                                       gap=gap, primal=primal, dual=dual))
 
     # ------------------------------------------------------------------
     @property
@@ -388,6 +477,7 @@ class TrainingSession:
             objective_value = trainer.objective.value(w, self.dataset.X,
                                                       self.dataset.y)
         self.history.record(step, self.clock(), objective_value)
+        self._record_gap(step)
         if (not math.isfinite(objective_value)
                 or objective_value > config.divergence_limit):
             self.diverged = True
@@ -405,7 +495,8 @@ class TrainingSession:
                            trace=trainer._trace(),
                            converged=self.converged, diverged=self.diverged,
                            failures=tuple(trainer._failures()),
-                           comm=tuple(trainer._comm_records()))
+                           comm=tuple(trainer._comm_records()),
+                           duality_gaps=tuple(self.gaps))
 
     def close(self) -> None:
         """Tear down the execution backend (idempotent)."""

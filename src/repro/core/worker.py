@@ -32,13 +32,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import Partition
-from ..glm import (LocalStats, Objective, gd_step, mgd_epoch, sample_batch,
-                   sgd_epoch)
+from ..glm import (DualSolverSpec, LocalStats, Objective, dual_local_solve,
+                   gd_step, mgd_epoch, sample_batch, sgd_epoch)
 from .config import TrainerConfig
 from .local import send_model_update
 
 __all__ = ["gradient_wave_task", "send_model_task", "petuum_batch_task",
-           "angel_epoch_task", "full_pass_task", "asgd_gradient_task"]
+           "angel_epoch_task", "full_pass_task", "asgd_gradient_task",
+           "run_dual_on_partition"]
 
 
 def gradient_wave_task(part: Partition, w: np.ndarray, objective: Objective,
@@ -90,6 +91,30 @@ def angel_epoch_task(part: Partition, w: np.ndarray, objective: Objective,
     """Angel: one mini-batch GD pass over the whole partition per step."""
     local_w, stats = mgd_epoch(objective, w, part.X, part.y, lr, batch, rng)
     return local_w, stats, rng
+
+
+def run_dual_on_partition(part: Partition, w: np.ndarray,
+                          objective: Objective, spec: DualSolverSpec,
+                          alpha: np.ndarray, rng: np.random.Generator,
+                          ) -> tuple[np.ndarray, np.ndarray, LocalStats,
+                                     np.random.Generator]:
+    """CoCoA-family SendModel: ``H`` SDCA epochs over the local dual block.
+
+    Runs the dual coordinate-ascent local solver against the broadcast
+    iterate ``w`` and this worker's dual variables ``alpha`` (one per
+    local row; the trainer round-trips the returned block exactly like
+    the RNG).  Returns the gamma-scaled model delta — the trainers *sum*
+    deltas across workers, unlike the model-averaging mean — plus the
+    committed dual block, work stats and the advanced RNG.
+    """
+    if part.X.shape[0] == 0:
+        raise ValueError(
+            f"partition {part.index} is empty: the dual solver has no "
+            "local dual variables to ascend on (an empty block would "
+            "silently contribute a zero update)")
+    delta_w, new_alpha, stats = dual_local_solve(
+        objective, w, part.X, part.y, alpha, spec, rng)
+    return delta_w, new_alpha, stats, rng
 
 
 def full_pass_task(part: Partition, w: np.ndarray,

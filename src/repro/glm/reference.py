@@ -27,7 +27,7 @@ from .local_solvers import LocalStats, apply_update
 from .objective import Objective
 
 __all__ = ["mgd_epoch_reference", "sgd_epoch_lazy_reference",
-           "sgd_epoch_eager_reference"]
+           "sgd_epoch_eager_reference", "dual_epoch_reference"]
 
 
 def mgd_epoch_reference(objective: Objective, w: np.ndarray,
@@ -98,3 +98,39 @@ def sgd_epoch_eager_reference(objective: Objective, w: np.ndarray,
         if reg.is_dense:
             stats.dense_ops += w.shape[0]
     return current, stats
+
+
+def dual_epoch_reference(X: sp.csr_matrix, y: np.ndarray, u: np.ndarray,
+                         acur: np.ndarray, dalpha: np.ndarray,
+                         order: np.ndarray, scale: float,
+                         delta_fn) -> tuple[int, int]:
+    """Reference SDCA pass: per-visit ``X[i]`` row slicing.
+
+    The pre-optimization body of :func:`repro.glm.kernels.dual_epoch`:
+    every coordinate visit constructs a fresh one-row ``csr_matrix``
+    (index-dtype checks, shape checks, format validation) and recomputes
+    the row's squared norm from scratch.  The float operations — margin
+    and norm accumulated left-to-right with ``cumsum``, the shared
+    update expression ``u[idx] += (scale * d) * dat`` — are the fast
+    kernel's exactly, so both paths are bit-identical.
+    """
+    nnz = 0
+    updates = 0
+    for i in order:
+        Xi = X[i]
+        idx = Xi.indices
+        dat = Xi.data
+        if idx.size:
+            margin = (dat * u[idx]).cumsum()[-1]
+            norm = (dat * dat).cumsum()[-1]
+        else:
+            margin = 0.0
+            norm = 0.0
+        d = delta_fn(margin, acur[i], y[i], scale * norm)
+        nnz += 2 * int(idx.size)
+        if d != 0.0:
+            acur[i] += d
+            dalpha[i] += d
+            u[idx] += (scale * d) * dat
+            updates += 1
+    return nnz, updates

@@ -46,32 +46,66 @@ from ..glm import Objective
 __all__ = ["validate_network", "fit_alpha_beta", "simulate_wire_log"]
 
 
-def fit_alpha_beta(samples: list[tuple[float, float]]
-                   ) -> dict[str, float] | None:
+def _unfittable(reason: str, samples: int,
+                distinct_sizes: int) -> dict[str, Any]:
+    """Diagnostic result for a sample set that cannot identify the line."""
+    return {"ok": False, "reason": reason, "samples": samples,
+            "distinct_sizes": distinct_sizes}
+
+
+def fit_alpha_beta(samples: list[tuple[float, float]]) -> dict[str, Any]:
     """Least-squares fit ``seconds = 2*alpha + bytes / bandwidth``.
 
     ``samples`` are per-request ``(roundtrip_bytes, comm_seconds)``
     observations; the factor 2 reflects one request + one response, each
-    paying the per-message latency.  Returns ``None`` when the samples
-    cannot identify the line (fewer than two distinct sizes, or a
-    non-physical negative slope — byte counts too uniform for the noise).
+    paying the per-message latency.  Always returns a dict: on success
+    ``ok`` is True alongside the fitted constants; when the samples
+    cannot identify the line — fewer than two samples (a single
+    superstep), fewer than two *distinct* message sizes (the normal
+    equations are singular: every run with uniform frames would
+    otherwise crash in the solver), non-finite measurements, or a
+    non-physical non-positive slope — ``ok`` is False and ``reason``
+    says which degeneracy was hit, so callers report *why* instead of
+    dying on a singular matrix.
     """
-    if len(samples) < 2:
-        return None
     sizes = np.array([s[0] for s in samples], dtype=np.float64)
     secs = np.array([s[1] for s in samples], dtype=np.float64)
-    if np.ptp(sizes) <= 0:
-        return None
-    slope, intercept = np.polyfit(sizes, secs, 1)
+    distinct = int(np.unique(sizes).size)
+    if len(samples) < 2:
+        return _unfittable(
+            f"need at least 2 samples to fit a line, got {len(samples)} "
+            "(a single superstep cannot separate latency from bandwidth)",
+            len(samples), distinct)
+    if not (np.all(np.isfinite(sizes)) and np.all(np.isfinite(secs))):
+        return _unfittable(
+            "samples contain non-finite byte counts or seconds",
+            len(samples), distinct)
+    if distinct < 2:
+        return _unfittable(
+            f"all {len(samples)} samples share one message size "
+            f"({sizes[0]:.0f} bytes): uniform frames cannot separate "
+            "per-message latency (alpha) from payload cost (beta)",
+            len(samples), distinct)
+    try:
+        slope, intercept = np.polyfit(sizes, secs, 1)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+        return _unfittable(f"least-squares solve failed: {exc}",
+                           len(samples), distinct)
     if slope <= 0:
-        return None
+        return _unfittable(
+            f"fitted slope {float(slope):.3g} s/byte is not positive: "
+            "larger messages did not take longer, so the samples are "
+            "noise-dominated (non-physical negative bandwidth)",
+            len(samples), distinct)
     predicted = intercept + slope * sizes
     residual = float(np.sqrt(np.mean((secs - predicted) ** 2)))
     return {
+        "ok": True,
         "alpha_seconds": max(0.0, float(intercept) / 2.0),
         "bandwidth_bytes_per_second": 1.0 / float(slope),
         "rms_residual_seconds": residual,
         "samples": len(samples),
+        "distinct_sizes": distinct,
     }
 
 

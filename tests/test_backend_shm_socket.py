@@ -437,7 +437,7 @@ class TestNetcheck:
         sizes = [1_000.0, 10_000.0, 100_000.0, 500_000.0]
         samples = [(s, 2 * alpha + s / bandwidth) for s in sizes]
         fitted = fit_alpha_beta(samples)
-        assert fitted is not None
+        assert fitted["ok"] is True
         assert fitted["alpha_seconds"] == pytest.approx(alpha, rel=1e-6)
         assert fitted["bandwidth_bytes_per_second"] == pytest.approx(
             bandwidth, rel=1e-6)
@@ -445,12 +445,26 @@ class TestNetcheck:
                                                               abs=1e-9)
 
     def test_fit_refuses_degenerate_samples(self):
-        assert fit_alpha_beta([]) is None
-        assert fit_alpha_beta([(100.0, 0.1)]) is None
+        # Each degeneracy yields a diagnostic dict naming the cause
+        # instead of None (or a singular-matrix crash in the solver).
+        empty = fit_alpha_beta([])
+        assert empty["ok"] is False and "2 samples" in empty["reason"]
+        single = fit_alpha_beta([(100.0, 0.1)])
+        assert single["ok"] is False
+        assert "single superstep" in single["reason"]
         # Uniform sizes cannot separate alpha from beta.
-        assert fit_alpha_beta([(100.0, 0.1), (100.0, 0.2)]) is None
+        uniform = fit_alpha_beta([(100.0, 0.1), (100.0, 0.2)])
+        assert uniform["ok"] is False
+        assert "one message size" in uniform["reason"]
+        assert uniform["distinct_sizes"] == 1
         # A negative slope is non-physical.
-        assert fit_alpha_beta([(100.0, 0.5), (200.0, 0.1)]) is None
+        negative = fit_alpha_beta([(100.0, 0.5), (200.0, 0.1)])
+        assert negative["ok"] is False
+        assert "not positive" in negative["reason"]
+        # Non-finite measurements are reported, not propagated into the
+        # least-squares solve.
+        nan = fit_alpha_beta([(100.0, float("nan")), (200.0, 0.1)])
+        assert nan["ok"] is False and "non-finite" in nan["reason"]
 
     def test_validate_network_smoke(self):
         report = validate_network(rows=120, features=24, executors=2,
